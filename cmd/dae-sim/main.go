@@ -1,0 +1,130 @@
+// Command dae-sim runs one simulator configuration and prints the full
+// statistics report.
+//
+// Examples:
+//
+//	dae-sim -threads 3                     # Figure-2 machine, mixed workload
+//	dae-sim -threads 1 -bench swim -l2 64  # single benchmark, L2 latency 64
+//	dae-sim -threads 4 -nondecoupled       # decoupling disabled
+//	dae-sim -section2 -bench fpppp -l2 256 # the paper's Section-2 machine
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	daesim "repro"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		threads      = flag.Int("threads", 1, "hardware contexts")
+		bench        = flag.String("bench", "", "single benchmark to run (default: the all-benchmark mix); one of "+strings.Join(daesim.Benchmarks(), ","))
+		l2           = flag.Int64("l2", 16, "L2 latency in cycles")
+		nondecoupled = flag.Bool("nondecoupled", false, "disable access/execute decoupling (no AP/EP slippage)")
+		section2     = flag.Bool("section2", false, "use the paper's Section-2 machine (4-way, shared FUs, scaled queues)")
+		warmup       = flag.Int64("warmup", daesim.DefaultWarmup, "warm-up instructions (excluded from stats)")
+		measure      = flag.Int64("measure", daesim.DefaultMeasure, "measured instructions")
+		seed         = flag.Uint64("seed", 0, "workload seed")
+		forwarding   = flag.Bool("forwarding", false, "enable store-to-load forwarding in the SAQ")
+		fetchRR      = flag.Bool("fetch-rr", false, "use round-robin fetch instead of ICOUNT")
+		mix          = flag.Bool("mixdetail", false, "also print the graduated instruction mix")
+		traceFiles   = flag.String("trace", "", "comma-separated trace files (one per thread; overrides -bench/mix)")
+		jsonOut      = flag.Bool("json", false, "emit the report as JSON (for scripting)")
+	)
+	flag.Parse()
+
+	var m daesim.Machine
+	if *section2 {
+		m = daesim.Section2()
+	} else {
+		m = daesim.Figure2(*threads)
+	}
+	m = m.WithThreads(*threads).WithL2Latency(*l2)
+	if *nondecoupled {
+		m = m.NonDecoupled()
+	}
+	m.StoreForwarding = *forwarding
+	if *fetchRR {
+		m.FetchPolicy = daesim.FetchRoundRobin
+	}
+
+	opts := daesim.RunOpts{WarmupInsts: *warmup, MeasureInsts: *measure, Seed: *seed}
+	var (
+		rep daesim.Report
+		err error
+	)
+	switch {
+	case *traceFiles != "":
+		rep, err = runFromFiles(m, strings.Split(*traceFiles, ","), opts)
+	case *bench == "":
+		rep, err = daesim.RunMix(m, opts)
+	default:
+		rep, err = daesim.RunBenchmark(*bench, m, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dae-sim:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "dae-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(rep.String())
+	if *mix {
+		mixes := rep.InstMix()
+		fmt.Printf("inst mix: int=%.1f%% fp=%.1f%% load=%.1f%% store=%.1f%% branch=%.1f%%\n",
+			100*mixes[0], 100*mixes[1], 100*mixes[2], 100*mixes[3], 100*mixes[4])
+	}
+}
+
+// runFromFiles drives the machine with pre-recorded trace files (one per
+// thread), as produced by `dae-trace gen`. Finite traces run to
+// completion; the measurement window still applies if smaller.
+func runFromFiles(m daesim.Machine, paths []string, opts daesim.RunOpts) (daesim.Report, error) {
+	if len(paths) != m.Threads {
+		return daesim.Report{}, fmt.Errorf("%d trace files for %d threads", len(paths), m.Threads)
+	}
+	sources := make([]trace.Reader, len(paths))
+	closers := make([]*os.File, len(paths))
+	defer func() {
+		for _, f := range closers {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	for i, p := range paths {
+		f, err := os.Open(strings.TrimSpace(p))
+		if err != nil {
+			return daesim.Report{}, err
+		}
+		closers[i] = f
+		fr, err := trace.NewFileReader(f)
+		if err != nil {
+			return daesim.Report{}, fmt.Errorf("%s: %w", p, err)
+		}
+		sources[i] = fr
+	}
+	res, err := sim.Run(sim.Options{
+		Machine:      m,
+		Sources:      sources,
+		WarmupInsts:  opts.WarmupInsts,
+		MeasureInsts: opts.MeasureInsts,
+		MaxCycles:    opts.MaxCycles,
+	})
+	if err != nil {
+		return daesim.Report{}, err
+	}
+	return res.Report, nil
+}

@@ -1,0 +1,185 @@
+// Command dae-sweep regenerates the paper's figures and the repository's
+// ablation studies as text tables.
+//
+// Usage:
+//
+//	dae-sweep -fig all                 # everything (minutes)
+//	dae-sweep -fig 1a|1b|1c|1d         # Figure 1 panels (Section-2 machine)
+//	dae-sweep -fig 3                   # Figure 3 issue-slot breakdown
+//	dae-sweep -fig 4a|4b|4c            # Figure 4 latency tolerance
+//	dae-sweep -fig 5                   # Figure 5 thread requirements
+//	dae-sweep -fig a1..a6              # ablations
+//	dae-sweep -fig 1d -measure 2000000 # bigger budget per thread
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "which figure/ablation to regenerate (1a,1b,1c,1d,3,4a,4b,4c,5,a1..a7,all)")
+		warmup  = flag.Int64("warmup", 0, "warm-up instructions per thread (0 = default)")
+		measure = flag.Int64("measure", 0, "measured instructions per thread (0 = default)")
+		seed    = flag.Uint64("seed", 0, "workload seed")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
+		csvDir  = flag.String("csv", "", "also write raw results as CSV files into this directory")
+	)
+	flag.Parse()
+
+	budget := experiments.DefaultBudget()
+	if *warmup > 0 {
+		budget.WarmupPerThread = *warmup
+	}
+	if *measure > 0 {
+		budget.MeasurePerThread = *measure
+	}
+	budget.Seed = *seed
+	budget.Parallelism = *workers
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "dae-sweep:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(strings.ToLower(*fig), budget, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "dae-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// csvWriter is implemented by every experiment result.
+type csvWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+// saveCSV writes one result's raw data when a CSV directory is set.
+func saveCSV(dir, name string, r csvWriter) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(dir, name))
+	return nil
+}
+
+func run(fig string, budget experiments.Budget, csvDir string) error {
+	want := func(keys ...string) bool {
+		if fig == "all" {
+			return true
+		}
+		for _, k := range keys {
+			if fig == k {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("1a", "1b", "1c", "1d", "1") {
+		r, err := experiments.Fig1(budget)
+		if err != nil {
+			return err
+		}
+		if err := saveCSV(csvDir, "fig1.csv", r); err != nil {
+			return err
+		}
+		if want("1a", "1") {
+			fmt.Println(r.TableA())
+		}
+		if want("1b", "1") {
+			fmt.Println(r.TableB())
+		}
+		if want("1c", "1") {
+			fmt.Println(r.TableC())
+		}
+		if want("1d", "1") {
+			fmt.Println(r.TableD())
+		}
+	}
+	if want("3") {
+		r, err := experiments.Fig3(budget)
+		if err != nil {
+			return err
+		}
+		if err := saveCSV(csvDir, "fig3.csv", r); err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+		fmt.Printf("speedup 1→3 threads: %.2fx (paper: 2.31x)\n\n", r.Speedup(3))
+	}
+	if want("4a", "4b", "4c", "4") {
+		r, err := experiments.Fig4(budget)
+		if err != nil {
+			return err
+		}
+		if err := saveCSV(csvDir, "fig4.csv", r); err != nil {
+			return err
+		}
+		if want("4a", "4") {
+			fmt.Println(r.TableA())
+		}
+		if want("4b", "4") {
+			fmt.Println(r.TableB())
+		}
+		if want("4c", "4") {
+			fmt.Println(r.TableC())
+		}
+	}
+	if want("5") {
+		r, err := experiments.Fig5(budget)
+		if err != nil {
+			return err
+		}
+		if err := saveCSV(csvDir, "fig5.csv", r); err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	}
+
+	ablations := []struct {
+		key string
+		run func(experiments.Budget) (*experiments.AblationResult, error)
+	}{
+		{"a1", experiments.AblationUnitWidths},
+		{"a2", experiments.AblationFetchPolicy},
+		{"a3", experiments.AblationAssoc},
+		{"a4", experiments.AblationForwarding},
+		{"a5", experiments.AblationMemory},
+		{"a6", experiments.AblationScaling},
+		{"a7", experiments.AblationPolicies},
+	}
+	ranAny := fig == "all"
+	for _, a := range ablations {
+		if want(a.key) {
+			r, err := a.run(budget)
+			if err != nil {
+				return err
+			}
+			if err := saveCSV(csvDir, a.key+".csv", r); err != nil {
+				return err
+			}
+			fmt.Println(r.Table())
+			ranAny = true
+		}
+	}
+	if !ranAny && !want("1a", "1b", "1c", "1d", "1", "3", "4a", "4b", "4c", "4", "5") {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}

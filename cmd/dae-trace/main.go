@@ -1,0 +1,210 @@
+// Command dae-trace generates, inspects and summarizes instruction traces
+// in the repository's binary trace format.
+//
+// Usage:
+//
+//	dae-trace gen -bench swim -n 1000000 -o swim.trace   # write a trace file
+//	dae-trace dump -i swim.trace -n 20                   # print records
+//	dae-trace stat -i swim.trace                         # mix/footprint summary
+//	dae-trace stat -bench fpppp -n 500000                # stat a generator directly
+//	dae-trace list                                       # list built-in benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "gen":
+		err = cmdGen(args)
+	case "dump":
+		err = cmdDump(args)
+	case "stat":
+		err = cmdStat(args)
+	case "list":
+		err = cmdList()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dae-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dae-trace <gen|dump|stat|list> [flags]
+  gen  -bench NAME -n COUNT -o FILE [-seed S] [-offset A]
+  dump -i FILE [-n COUNT]
+  stat (-i FILE | -bench NAME -n COUNT) [-seed S]
+  list`)
+}
+
+func cmdList() error {
+	for _, b := range workload.All() {
+		insts := 0
+		for _, k := range b.Kernels {
+			insts += k.InstsPerIteration()
+		}
+		fmt.Printf("%-8s  %d streams, %d kernels, ≤%d insts/iteration\n",
+			b.Name, len(b.Streams), len(b.Kernels), insts)
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	n := fs.Int64("n", 1_000_000, "instructions to generate")
+	out := fs.String("o", "", "output file")
+	seed := fs.Uint64("seed", 0, "workload seed")
+	offset := fs.Uint64("offset", 0, "address-space offset")
+	fs.Parse(args)
+	if *bench == "" || *out == "" {
+		return fmt.Errorf("gen requires -bench and -o")
+	}
+	b, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	r := trace.Limit(b.NewReader(workload.ReaderOpts{Seed: *seed, AddrOffset: *offset}), *n)
+	written, err := w.WriteAll(r)
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s\n", written, *out)
+	return nil
+}
+
+func openTrace(path string) (*trace.FileReader, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	fr, err := trace.NewFileReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return fr, func() { f.Close() }, nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	n := fs.Int64("n", 32, "records to print")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("dump requires -i")
+	}
+	fr, done, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer done()
+	var inst isa.Inst
+	for i := int64(0); i < *n && fr.Next(&inst); i++ {
+		fmt.Printf("%8d  %s\n", i, inst.String())
+	}
+	return fr.Err()
+}
+
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	bench := fs.String("bench", "", "benchmark name (instead of a file)")
+	n := fs.Int64("n", 1_000_000, "instructions to scan (generator mode)")
+	seed := fs.Uint64("seed", 0, "workload seed")
+	fs.Parse(args)
+
+	var r trace.Reader
+	var cleanup func()
+	switch {
+	case *in != "":
+		fr, done, err := openTrace(*in)
+		if err != nil {
+			return err
+		}
+		r, cleanup = fr, done
+	case *bench != "":
+		b, err := workload.ByName(*bench)
+		if err != nil {
+			return err
+		}
+		r = trace.Limit(b.NewReader(workload.ReaderOpts{Seed: *seed}), *n)
+		cleanup = func() {}
+	default:
+		return fmt.Errorf("stat requires -i or -bench")
+	}
+	defer cleanup()
+
+	var (
+		counts  [isa.NumOps]int64
+		total   int64
+		taken   int64
+		lines   = make(map[uint64]struct{})
+		pcs     = make(map[uint64]struct{})
+		minAddr = ^uint64(0)
+		maxAddr uint64
+	)
+	var inst isa.Inst
+	for r.Next(&inst) {
+		total++
+		counts[inst.Op]++
+		pcs[inst.PC] = struct{}{}
+		if inst.IsBranch() && inst.Taken {
+			taken++
+		}
+		if inst.IsMem() {
+			lines[inst.Addr>>5] = struct{}{}
+			if inst.Addr < minAddr {
+				minAddr = inst.Addr
+			}
+			if inst.Addr > maxAddr {
+				maxAddr = inst.Addr
+			}
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	fmt.Printf("instructions: %d\n", total)
+	fmt.Printf("static PCs:   %d\n", len(pcs))
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		fmt.Printf("  %-7s %8d  (%5.1f%%)\n", op, counts[op], 100*float64(counts[op])/float64(total))
+	}
+	if counts[isa.OpBranch] > 0 {
+		fmt.Printf("taken branches: %.1f%%\n", 100*float64(taken)/float64(counts[isa.OpBranch]))
+	}
+	if len(lines) > 0 {
+		fmt.Printf("touched lines: %d (%.1f KB footprint), address range [%#x, %#x]\n",
+			len(lines), float64(len(lines))*32/1024, minAddr, maxAddr)
+	}
+	return nil
+}

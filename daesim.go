@@ -1,0 +1,182 @@
+// Package daesim is the public API of the multithreaded decoupled
+// access/execute processor simulator, a from-scratch reproduction of
+//
+//	J.-M. Parcerisa and A. González,
+//	"The Synergy of Multithreading and Access/Execute Decoupling",
+//	HPCA 1999.
+//
+// The simulator models a simultaneous-multithreaded processor whose
+// contexts each execute in access/execute-decoupled mode: an in-order
+// Address Processor (AP) runs ahead computing addresses and issuing loads
+// while an in-order Execute Processor (EP) consumes the data through a
+// per-thread instruction queue. See DESIGN.md for the full model and
+// EXPERIMENTS.md for the reproduction of every figure in the paper.
+//
+// # Quick start
+//
+//	m := daesim.Figure2(3)                    // the paper's machine, 3 threads
+//	rep, err := daesim.RunMix(m, daesim.RunOpts{MeasureInsts: 1e6})
+//	if err != nil { ... }
+//	fmt.Printf("IPC = %.2f\n", rep.IPC())
+//
+// Single benchmarks (the paper's Section-2 study) run with RunBenchmark:
+//
+//	m := daesim.Section2().WithL2Latency(64)
+//	rep, err := daesim.RunBenchmark("swim", m, daesim.RunOpts{MeasureInsts: 1e6})
+//
+// All runs are deterministic: the same configuration and options always
+// produce identical statistics.
+package daesim
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Machine is a complete processor configuration. Construct one with
+// Figure2 or Section2 and adjust it with the With* builders or direct
+// field access.
+type Machine = config.Machine
+
+// Report is the statistics snapshot of a finished run: IPC, issue-slot
+// breakdown, perceived load-miss latencies, memory counters and bus
+// utilization.
+type Report = stats.Report
+
+// Benchmark is a synthetic workload model (one of the ten SPEC FP95
+// equivalents, or a custom definition built from StreamSpec and Kernel).
+type Benchmark = workload.Benchmark
+
+// StreamSpec describes one array access stream of a custom Benchmark.
+type StreamSpec = workload.StreamSpec
+
+// Kernel is one loop nest of a custom Benchmark.
+type Kernel = workload.Kernel
+
+// IntLoadSpec configures a Kernel's integer (index/gather) loads.
+type IntLoadSpec = workload.IntLoadSpec
+
+// FetchPolicy selects the fetch thread-choice policy.
+type FetchPolicy = config.FetchPolicy
+
+// Fetch policies.
+const (
+	FetchICOUNT     = config.FetchICOUNT
+	FetchRoundRobin = config.FetchRoundRobin
+)
+
+// Figure2 returns the paper's Section-3 multithreaded decoupled machine
+// (Figure 2 parameters) with the given number of hardware contexts.
+func Figure2(threads int) Machine { return config.Figure2(threads) }
+
+// Section2 returns the paper's Section-2 single-threaded machine: 4-way
+// issue from 4 shared general-purpose FUs, 2-port L1, with queue and
+// register-file sizes scaling proportionally to the L2 latency.
+func Section2() Machine { return config.Section2() }
+
+// Benchmarks returns the names of the ten built-in SPEC FP95 workload
+// models, in the paper's order.
+func Benchmarks() []string { return workload.Names() }
+
+// BenchmarkByName returns the named built-in workload model.
+func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
+
+// RunOpts controls a simulation run's instruction budget.
+type RunOpts struct {
+	// WarmupInsts is the cache/pipeline warm-up window (graduated
+	// instructions, machine-wide total) excluded from the measurement.
+	// Zero applies DefaultWarmup.
+	WarmupInsts int64
+	// MeasureInsts is the measurement window (graduated instructions,
+	// machine-wide total). Zero applies DefaultMeasure.
+	MeasureInsts int64
+	// Seed perturbs workload randomness (branch outcomes); runs with the
+	// same seed are bit-identical.
+	Seed uint64
+	// SegmentLen overrides the benchmark rotation length for mixes.
+	SegmentLen int64
+	// MaxCycles caps the run as a deadlock guard (0 = a large default).
+	MaxCycles int64
+}
+
+// Default instruction budgets. The paper simulates 100M-instruction
+// windows; these defaults keep interactive runs fast while remaining in
+// steady state — raise them for publication-grade numbers.
+const (
+	DefaultWarmup  = 200_000
+	DefaultMeasure = 1_000_000
+)
+
+func (o RunOpts) withDefaults() RunOpts {
+	if o.WarmupInsts <= 0 {
+		o.WarmupInsts = DefaultWarmup
+	}
+	if o.MeasureInsts <= 0 {
+		o.MeasureInsts = DefaultMeasure
+	}
+	return o
+}
+
+// RunBenchmark simulates one built-in benchmark. On a single-thread
+// machine the benchmark runs alone (the paper's Section-2 methodology); on
+// a multithreaded machine every context runs an independent copy with a
+// private address space and perturbed data-dependent behaviour (distinct
+// "inputs").
+func RunBenchmark(name string, m Machine, opts RunOpts) (Report, error) {
+	b, err := workload.ByName(name)
+	if err != nil {
+		return Report{}, err
+	}
+	return RunCustom(b, m, opts)
+}
+
+// RunCustom simulates a custom workload model (see Benchmark) the same way
+// RunBenchmark runs the built-ins.
+func RunCustom(b Benchmark, m Machine, opts RunOpts) (Report, error) {
+	if err := b.Validate(); err != nil {
+		return Report{}, err
+	}
+	opts = opts.withDefaults()
+	sources := make([]trace.Reader, m.Threads)
+	for t := 0; t < m.Threads; t++ {
+		sources[t] = b.NewReader(workload.ReaderOpts{
+			AddrOffset: workload.ThreadAddrOffset(t),
+			Seed:       opts.Seed + uint64(t),
+		})
+	}
+	return run(m, sources, opts)
+}
+
+// RunMix simulates the paper's Section-3 workload: every context runs a
+// rotated concatenation of all ten benchmarks ("a sequence of traces from
+// all SpecFP95 programs, in a different order for each thread").
+func RunMix(m Machine, opts RunOpts) (Report, error) {
+	opts = opts.withDefaults()
+	sources := workload.MixSources(m.Threads, workload.MixOpts{
+		SegmentLen: opts.SegmentLen,
+		Seed:       opts.Seed,
+	})
+	return run(m, sources, opts)
+}
+
+func run(m Machine, sources []trace.Reader, opts RunOpts) (Report, error) {
+	res, err := sim.Run(sim.Options{
+		Machine:      m,
+		Sources:      sources,
+		WarmupInsts:  opts.WarmupInsts,
+		MeasureInsts: opts.MeasureInsts,
+		MaxCycles:    opts.MaxCycles,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	if !res.Completed {
+		return res.Report, fmt.Errorf("daesim: run hit the cycle cap before finishing its measurement window")
+	}
+	return res.Report, nil
+}

@@ -1,0 +1,102 @@
+package daesim_test
+
+import (
+	"fmt"
+
+	daesim "repro"
+)
+
+// The godoc examples run as part of the test suite; they use fixed seeds
+// and small budgets so their output is stable and fast.
+
+// Running the paper's machine on the multiprogrammed benchmark mix.
+func Example() {
+	m := daesim.Figure2(3) // Figure-2 machine, 3 hardware contexts
+	rep, err := daesim.RunMix(m, daesim.RunOpts{
+		WarmupInsts:  100_000,
+		MeasureInsts: 600_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("threads=%d decoupled=%v\n", rep.Threads, rep.Decoupled)
+	fmt.Printf("IPC above 5: %v\n", rep.IPC() > 5)
+	fmt.Printf("perceived miss latency under 5 cycles: %v\n", rep.Perceived().Mean() < 5)
+	// Output:
+	// threads=3 decoupled=true
+	// IPC above 5: true
+	// perceived miss latency under 5 cycles: true
+}
+
+// Comparing the decoupled machine against the paper's non-decoupled
+// baseline at a high memory latency.
+func Example_nonDecoupled() {
+	m := daesim.Figure2(2).WithL2Latency(64)
+	opts := daesim.RunOpts{WarmupInsts: 50_000, MeasureInsts: 300_000}
+	dec, err := daesim.RunMix(m, opts)
+	if err != nil {
+		panic(err)
+	}
+	non, err := daesim.RunMix(m.NonDecoupled(), opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("decoupling wins: %v\n", dec.IPC() > non.IPC()*1.5)
+	// Output:
+	// decoupling wins: true
+}
+
+// Running a single benchmark on the paper's Section-2 machine.
+func ExampleRunBenchmark() {
+	m := daesim.Section2().WithL2Latency(256)
+	rep, err := daesim.RunBenchmark("tomcatv", m, daesim.RunOpts{
+		WarmupInsts:  50_000,
+		MeasureInsts: 200_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// tomcatv decouples almost perfectly: even at a 256-cycle L2 the
+	// perceived FP miss latency is near zero (paper Figure 1-a).
+	fmt.Printf("fp misses sampled: %v\n", rep.PerceivedFP.Count > 0)
+	fmt.Printf("fp latency hidden: %v\n", rep.PerceivedFP.Mean() < 2)
+	// Output:
+	// fp misses sampled: true
+	// fp latency hidden: true
+}
+
+// Defining a custom workload model.
+func ExampleRunCustom() {
+	b := daesim.Benchmark{
+		Name: "saxpy",
+		Seed: 7,
+		Streams: []daesim.StreamSpec{
+			{Name: "x", SizeBytes: 1 << 20, StrideBytes: 8},
+			{Name: "y", SizeBytes: 1 << 20, StrideBytes: 8},
+		},
+		Kernels: []daesim.Kernel{{
+			Name: "axpy", Weight: 100, InnerTrip: 64,
+			FPLoads: []int{0, 1}, Stores: []int{1},
+			FPOps: 2, FPChains: 2, IntOps: 1,
+		}},
+	}
+	rep, err := daesim.RunCustom(b, daesim.Figure2(1), daesim.RunOpts{
+		WarmupInsts:  20_000,
+		MeasureInsts: 100_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ran %v instructions: %v\n", rep.Graduated >= 100_000, err == nil)
+	// Output:
+	// ran true instructions: true
+}
+
+// Inspecting the machine configuration presets.
+func ExampleFigure2() {
+	m := daesim.Figure2(4)
+	fmt.Printf("issue width %d+%d, IQ %d, SAQ %d, regs %d+%d\n",
+		m.APWidth, m.EPWidth, m.IQSize, m.SAQSize, m.APRegs, m.EPRegs)
+	// Output:
+	// issue width 4+4, IQ 48, SAQ 32, regs 64+96
+}

@@ -1,0 +1,61 @@
+// Bus-saturation study: the dotted lines of the paper's Figure 5. At a
+// 64-cycle L2 latency the non-decoupled machine needs so many contexts to
+// hide memory latency that their combined working set thrashes the L1 and
+// the L1↔L2 bus saturates — it can never match the decoupled machine.
+//
+//	go run ./examples/busstudy [-maxthreads 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	daesim "repro"
+)
+
+func main() {
+	maxThreads := flag.Int("maxthreads", 16, "largest context count to sweep")
+	measure := flag.Int64("measure", 400_000, "instructions per thread per run")
+	flag.Parse()
+
+	fmt.Println("L2 latency = 64 cycles: IPC and bus utilization vs contexts")
+	fmt.Println()
+	fmt.Printf("%7s  %24s  %24s\n", "", "decoupled", "non-decoupled")
+	fmt.Printf("%7s  %8s %15s  %8s %15s\n", "threads", "IPC", "bus", "IPC", "bus")
+
+	for t := 1; t <= *maxThreads; t++ {
+		opts := daesim.RunOpts{
+			WarmupInsts:  100_000 * int64(t),
+			MeasureInsts: *measure * int64(t),
+		}
+		m := daesim.Figure2(t).WithL2Latency(64)
+		dec, err := daesim.RunMix(m, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		non, err := daesim.RunMix(m.NonDecoupled(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d  %8.2f %6.1f%% %s  %8.2f %6.1f%% %s\n",
+			t,
+			dec.IPC(), 100*dec.BusUtilization, bar(dec.BusUtilization),
+			non.IPC(), 100*non.BusUtilization, bar(non.BusUtilization))
+	}
+
+	fmt.Println("\npaper: with decoupling disabled the bus reaches 89% utilization")
+	fmt.Println("at 12 threads and 98% at 16 — bandwidth, not latency, becomes the")
+	fmt.Println("bottleneck, so no number of contexts recovers the lost throughput.")
+}
+
+// bar renders a tiny utilization bar for terminal output.
+func bar(frac float64) string {
+	const width = 8
+	n := int(frac*width + 0.5)
+	if n > width {
+		n = width
+	}
+	return "[" + strings.Repeat("#", n) + strings.Repeat(".", width-n) + "]"
+}

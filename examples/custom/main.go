@@ -1,0 +1,82 @@
+// Custom workload: define your own benchmark model against the public API
+// and see how well it decouples. The example builds a pointer-chasing
+// gather kernel (the worst case for an access/execute machine: the AP
+// serializes on its own loads) and a blocked stencil kernel (the best
+// case), then compares their latency tolerance.
+//
+//	go run ./examples/custom
+package main
+
+import (
+	"fmt"
+	"log"
+
+	daesim "repro"
+)
+
+func main() {
+	gather := daesim.Benchmark{
+		Name: "gather-chase",
+		Seed: 0xC0FFEE,
+		Streams: []daesim.StreamSpec{
+			{Name: "index", SizeBytes: 2 << 20, StrideBytes: 8}, // sweeps, misses
+			{Name: "data", SizeBytes: 2 << 20, StrideBytes: 8},  // gathered through idx
+			{Name: "out", SizeBytes: 8 << 10, StrideBytes: 8},   // resident
+		},
+		Kernels: []daesim.Kernel{{
+			Name: "chase", Weight: 1000, InnerTrip: 100,
+			FPLoads: []int{1}, Stores: []int{2},
+			FPOps: 4, FPChains: 4, IntOps: 1,
+			// Every iteration: an integer index load whose value feeds
+			// the FP load's address, one instruction apart — the AP
+			// cannot run ahead of memory.
+			IntLoad: daesim.IntLoadSpec{Stream: 0, Every: 1, Feeds: true, Dist: 1},
+		}},
+	}
+
+	stencil := daesim.Benchmark{
+		Name: "stencil-blocked",
+		Seed: 0xBEEF,
+		Streams: []daesim.StreamSpec{
+			{Name: "grid", SizeBytes: 4 << 20, StrideBytes: 8, Reuse: 3},
+			{Name: "coef", SizeBytes: 8 << 10, StrideBytes: 8},
+			{Name: "out", SizeBytes: 4 << 20, StrideBytes: 8, Reuse: 3},
+		},
+		Kernels: []daesim.Kernel{{
+			Name: "sweep", Weight: 1000, InnerTrip: 200,
+			FPLoads: []int{0, 1}, Stores: []int{2},
+			FPOps: 6, FPChains: 6, IntOps: 2,
+		}},
+	}
+
+	fmt.Println("decoupling quality of two custom kernels (1 thread):")
+	fmt.Printf("%-16s %8s %8s %12s %12s\n", "kernel", "L2=16", "L2=128", "loss", "perceived@128")
+	for _, b := range []daesim.Benchmark{stencil, gather} {
+		fast := run(b, 16)
+		slow := run(b, 128)
+		fmt.Printf("%-16s %8.2f %8.2f %11.1f%% %12.1f\n",
+			b.Name, fast.IPC(), slow.IPC(),
+			100*(1-slow.IPC()/fast.IPC()),
+			slow.Perceived().Mean())
+	}
+	fmt.Println("\nthe stencil's address stream is independent of its data, so the")
+	fmt.Println("AP prefetches it arbitrarily far ahead; the gather's addresses")
+	fmt.Println("come from memory, so decoupling cannot help — exactly the")
+	fmt.Println("distinction the paper draws between its benchmarks.")
+}
+
+func run(b daesim.Benchmark, l2 int64) daesim.Report {
+	m := daesim.Figure2(1).WithL2Latency(l2)
+	// Scale the slip window with the latency (the paper's Section-2 rule)
+	// so the comparison isolates the *workloads'* decoupling quality from
+	// buffer sizing (see DESIGN.md §5 and ablation A6).
+	m.ScaleWithLatency = true
+	rep, err := daesim.RunCustom(b, m, daesim.RunOpts{
+		WarmupInsts:  100_000,
+		MeasureInsts: 400_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep
+}

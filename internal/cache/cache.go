@@ -1,0 +1,247 @@
+// Package cache models the tag/state array of the on-chip L1 data cache.
+//
+// The paper's L1 D-cache (Figure 2) is 64 KB, direct-mapped, 32-byte lines,
+// write-back, lockup-free. This package implements the storage-state part
+// of that design — lookup, fill, replacement, dirty tracking — with an
+// associativity parameter (direct-mapped is associativity 1; higher ways
+// with true-LRU replacement support the associativity ablation). All
+// timing, port arbitration and miss handling live in package mem.
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	// SizeBytes is the total capacity, e.g. 64*1024.
+	SizeBytes int
+	// LineBytes is the line (block) size, e.g. 32.
+	LineBytes int
+	// Assoc is the set associativity; 1 means direct-mapped.
+	Assoc int
+}
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("cache: size %d must be positive", c.SizeBytes)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d must be a positive power of two", c.LineBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache: associativity %d must be positive", c.Assoc)
+	case c.SizeBytes%(c.LineBytes*c.Assoc) != 0:
+		return fmt.Errorf("cache: size %d not divisible by line*assoc %d", c.SizeBytes, c.LineBytes*c.Assoc)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is the tag/state array. It is not safe for concurrent use; the
+// simulator is single-goroutine by design (cycle-stepped determinism).
+type Cache struct {
+	cfg      Config
+	sets     [][]way
+	lruClock uint64
+
+	lineShift uint
+	setMask   uint64
+}
+
+// New builds a cache from the geometry. It panics on an invalid Config
+// (configuration is validated up front by package config; reaching here
+// with a bad geometry is a programming error).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.Sets()
+	sets := make([][]way, nSets)
+	backing := make([]way, nSets*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		lineShift: shift,
+		setMask:   uint64(nSets - 1),
+	}
+}
+
+// Config returns the geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineBytes) - 1)
+}
+
+func (c *Cache) setIndex(addr uint64) uint64 { return (addr >> c.lineShift) & c.setMask }
+
+func (c *Cache) tag(addr uint64) uint64 { return addr >> c.lineShift }
+
+// Lookup probes the cache for addr. On a hit it refreshes the line's LRU
+// state and reports true.
+func (c *Cache) Lookup(addr uint64) bool {
+	set := c.sets[c.setIndex(addr)]
+	t := c.tag(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			c.lruClock++
+			set[i].lru = c.lruClock
+			return true
+		}
+	}
+	return false
+}
+
+// Probe reports whether addr hits without touching LRU state (used for
+// inspection and tests).
+func (c *Cache) Probe(addr uint64) bool {
+	set := c.sets[c.setIndex(addr)]
+	t := c.tag(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a line evicted by a Fill.
+type Victim struct {
+	// Addr is the line address of the evicted line.
+	Addr uint64
+	// Dirty reports whether the line must be written back.
+	Dirty bool
+	// Valid reports whether anything was evicted at all.
+	Valid bool
+}
+
+// Fill installs the line containing addr, evicting the LRU way of its set
+// if every way is valid. It returns the victim description. Filling a line
+// that is already present refreshes it and returns no victim.
+func (c *Cache) Fill(addr uint64) Victim {
+	setIdx := c.setIndex(addr)
+	set := c.sets[setIdx]
+	t := c.tag(addr)
+	c.lruClock++
+	// Already present (e.g. racing fills merged upstream): refresh.
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			set[i].lru = c.lruClock
+			return Victim{}
+		}
+	}
+	// Prefer an invalid way.
+	victimIdx := -1
+	for i := range set {
+		if !set[i].valid {
+			victimIdx = i
+			break
+		}
+	}
+	var v Victim
+	if victimIdx < 0 {
+		// Evict true-LRU.
+		victimIdx = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victimIdx].lru {
+				victimIdx = i
+			}
+		}
+		old := set[victimIdx]
+		v = Victim{
+			Addr:  old.tag << c.lineShift,
+			Dirty: old.dirty,
+			Valid: true,
+		}
+	}
+	set[victimIdx] = way{tag: t, valid: true, dirty: false, lru: c.lruClock}
+	return v
+}
+
+// SetDirty marks the line containing addr dirty. It reports whether the
+// line was present.
+func (c *Cache) SetDirty(addr uint64) bool {
+	set := c.sets[c.setIndex(addr)]
+	t := c.tag(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// IsDirty reports whether the line containing addr is present and dirty.
+func (c *Cache) IsDirty(addr uint64) bool {
+	set := c.sets[c.setIndex(addr)]
+	t := c.tag(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			return set[i].dirty
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line containing addr if present, returning its
+// dirty state (for write-back) and whether it was present.
+func (c *Cache) Invalidate(addr uint64) (dirty, present bool) {
+	set := c.sets[c.setIndex(addr)]
+	t := c.tag(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			d := set[i].dirty
+			set[i] = way{}
+			return d, true
+		}
+	}
+	return false, false
+}
+
+// Flush invalidates every line, returning the number that were dirty.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty {
+				dirty++
+			}
+			set[i] = way{}
+		}
+	}
+	return dirty
+}
+
+// ValidLines returns the number of valid lines (for tests and reports).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,287 @@
+// Package config defines the machine configuration for the multithreaded
+// decoupled processor and provides the paper's two reference presets:
+//
+//   - Figure2: the Section-3 multithreaded machine (8-way issue, 4 AP FUs
+//     at latency 1, 4 EP FUs at latency 4, 4-port 64 KB L1, 16-cycle L2,
+//     per-thread IQ 48 / SAQ 32 / 64+96 physical registers / 2K-entry BHT,
+//     fetch 2 threads × 8 instructions with ICOUNT, ≤4 unresolved
+//     branches);
+//   - Section2: the single-threaded latency-hiding study machine (4-way
+//     issue from a shared pool of 4 general-purpose FUs, 2-port L1, and
+//     every queue/register file scaled proportionally to the L2 latency).
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// IssuePolicy selects how issue slots are shared between threads.
+type IssuePolicy string
+
+const (
+	// IssueRoundRobin rotates thread priority every cycle (the paper's
+	// "full simultaneous issue" with round-robin priorities).
+	IssueRoundRobin IssuePolicy = "rr"
+	// IssueOldestFirst gives priority to the thread whose stream head
+	// was fetched earliest (Tullsen's oldest-first heuristic; ablation).
+	IssueOldestFirst IssuePolicy = "oldest"
+)
+
+// FetchPolicy selects how the fetch stage picks threads each cycle.
+type FetchPolicy string
+
+const (
+	// FetchICOUNT picks the threads with the fewest instructions pending
+	// dispatch (the paper's policy, after Tullsen's ICOUNT).
+	FetchICOUNT FetchPolicy = "icount"
+	// FetchRoundRobin rotates through threads regardless of occupancy
+	// (ablation A2).
+	FetchRoundRobin FetchPolicy = "rr"
+)
+
+// Machine is the complete parameter set for one simulated configuration.
+type Machine struct {
+	// Threads is the number of hardware contexts.
+	Threads int
+	// Decoupled selects the decoupled issue model; false disables the
+	// instruction queues' slippage (the paper's "non-decoupled" machine:
+	// per-thread program-order issue across both units).
+	Decoupled bool
+
+	// FetchThreads is how many threads may fetch per cycle (2).
+	FetchThreads int
+	// FetchWidth is the maximum instructions fetched per thread per cycle
+	// (8, up to the first predicted-taken branch).
+	FetchWidth int
+	// FetchPolicy picks fetch threads (ICOUNT in the paper).
+	FetchPolicy FetchPolicy
+	// FetchBufSize is the per-thread buffer between fetch and dispatch.
+	FetchBufSize int
+	// MaxUnresolvedBranches is the per-thread control speculation limit (4).
+	MaxUnresolvedBranches int
+	// BHTEntries sizes the per-thread branch history table (2048).
+	BHTEntries int
+	// Predictor selects the branch predictor implementation; empty means
+	// the paper's 2-bit BHT (ablation A7 compares alternatives).
+	Predictor branch.Kind
+
+	// DispatchWidth is the total instructions renamed/steered per cycle (8).
+	DispatchWidth int
+
+	// IssuePolicy arbitrates issue slots between threads; empty means
+	// round-robin (the paper's scheme).
+	IssuePolicy IssuePolicy
+
+	// APWidth and EPWidth are the per-unit issue widths; with fully
+	// pipelined FUs they equal the FU counts (4 and 4).
+	APWidth, EPWidth int
+	// SharedFUs, when positive, caps total issue across both units — the
+	// Section-2 machine's "4 general purpose functional units". Zero means
+	// the units have private FU pools.
+	SharedFUs int
+	// APLatency and EPLatency are the FU latencies in cycles (1 and 4).
+	APLatency, EPLatency int64
+
+	// IQSize is the per-thread EP instruction queue (48): the decoupling
+	// slippage window.
+	IQSize int
+	// APQSize is the per-thread AP-side dispatch queue. The paper does not
+	// size it separately; it defaults to IQSize.
+	APQSize int
+	// SAQSize is the per-thread store address queue (32).
+	SAQSize int
+	// ROBSize is the per-thread reorder buffer.
+	ROBSize int
+	// APRegs and EPRegs are the per-thread physical register file sizes
+	// (64 and 96).
+	APRegs, EPRegs int
+	// GraduateWidth is the per-thread graduation bandwidth per cycle.
+	GraduateWidth int
+
+	// MSHRsPerThread sizes the lockup-free miss capacity per hardware
+	// context (16 in Figure 2). Like the queues and register files, miss
+	// tracking replicates with contexts; the shared-cache resources the
+	// threads compete for are the ports, the array itself and the bus.
+	// When zero, Mem.MSHRs is used directly as a fixed total (for
+	// ablations).
+	MSHRsPerThread int
+
+	// StoreForwarding enables store→load data forwarding from the SAQ
+	// (ablation A4; off reproduces the paper's bypass-only behaviour,
+	// where a load to a conflicting pending-store address waits for the
+	// store to commit).
+	StoreForwarding bool
+
+	// Mem is the memory subsystem configuration.
+	Mem mem.Config
+
+	// ScaleWithLatency applies the Section-2 rule: "the sizes of all the
+	// architectural queues and physical register files are scaled up
+	// proportionally to the L2 latency". The scale factor is
+	// ceil(L2Latency/16), i.e. 1 at the paper's 16-cycle baseline.
+	ScaleWithLatency bool
+}
+
+// Figure2 returns the Section-3 multithreaded decoupled machine with the
+// given number of hardware contexts.
+func Figure2(threads int) Machine {
+	return Machine{
+		Threads:               threads,
+		Decoupled:             true,
+		FetchThreads:          2,
+		FetchWidth:            8,
+		FetchPolicy:           FetchICOUNT,
+		FetchBufSize:          16,
+		MaxUnresolvedBranches: 4,
+		BHTEntries:            2048,
+		DispatchWidth:         8,
+		APWidth:               4,
+		EPWidth:               4,
+		APLatency:             1,
+		EPLatency:             4,
+		MSHRsPerThread:        16,
+		IQSize:                48,
+		APQSize:               48,
+		SAQSize:               32,
+		ROBSize:               128,
+		APRegs:                64,
+		EPRegs:                96,
+		GraduateWidth:         8,
+		Mem: mem.Config{
+			L1:               cache.Config{SizeBytes: 64 * 1024, LineBytes: 32, Assoc: 1},
+			Ports:            4,
+			MSHRs:            16,
+			HitLatency:       1,
+			L2Latency:        16,
+			BusBytesPerCycle: 16,
+		},
+	}
+}
+
+// Section2 returns the single-threaded machine of the paper's Section 2:
+// 4-way issue from a shared pool of 4 general-purpose FUs, a 2-port L1,
+// and queue/register-file scaling with L2 latency enabled.
+func Section2() Machine {
+	m := Figure2(1)
+	m.DispatchWidth = 4
+	m.FetchThreads = 1
+	m.APWidth = 4
+	m.EPWidth = 4
+	m.SharedFUs = 4
+	m.GraduateWidth = 4
+	m.Mem.Ports = 2
+	m.ScaleWithLatency = true
+	return m
+}
+
+// NonDecoupled returns a copy of m with the instruction queues' slippage
+// disabled (the paper's degenerate comparison machine).
+func (m Machine) NonDecoupled() Machine {
+	m.Decoupled = false
+	return m
+}
+
+// WithL2Latency returns a copy of m with the L2 latency set (the paper's
+// swept parameter).
+func (m Machine) WithL2Latency(lat int64) Machine {
+	m.Mem.L2Latency = lat
+	return m
+}
+
+// WithThreads returns a copy of m with the thread count set.
+func (m Machine) WithThreads(n int) Machine {
+	m.Threads = n
+	return m
+}
+
+// scaleFactor implements the Section-2 scaling rule.
+func (m Machine) scaleFactor() int {
+	if !m.ScaleWithLatency {
+		return 1
+	}
+	f := int((m.Mem.L2Latency + 15) / 16)
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Effective returns the machine with derived sizes resolved: the MSHR
+// total (per-thread capacity × contexts) and, when ScaleWithLatency is
+// set, the Section-2 latency-proportional scaling of every buffer.
+func (m Machine) Effective() Machine {
+	f := m.scaleFactor()
+	if m.MSHRsPerThread > 0 {
+		m.Mem.MSHRs = m.MSHRsPerThread * m.Threads * f
+	}
+	if f == 1 {
+		return m
+	}
+	m.IQSize *= f
+	m.APQSize *= f
+	m.SAQSize *= f
+	m.ROBSize *= f
+	// Physical files scale on top of the architectural baseline: the 32
+	// architectural mappings are a fixed cost, the in-flight capacity is
+	// what the paper scales.
+	m.APRegs = 32 + (m.APRegs-32)*f
+	m.EPRegs = 32 + (m.EPRegs-32)*f
+	m.FetchBufSize *= f
+	return m
+}
+
+// Validate checks the configuration for consistency.
+func (m Machine) Validate() error {
+	switch {
+	case m.Threads <= 0:
+		return fmt.Errorf("config: threads %d must be positive", m.Threads)
+	case m.FetchThreads <= 0:
+		return fmt.Errorf("config: fetch threads %d must be positive", m.FetchThreads)
+	case m.FetchWidth <= 0:
+		return fmt.Errorf("config: fetch width %d must be positive", m.FetchWidth)
+	case m.FetchBufSize < m.FetchWidth:
+		return fmt.Errorf("config: fetch buffer %d smaller than fetch width %d", m.FetchBufSize, m.FetchWidth)
+	case m.MaxUnresolvedBranches <= 0:
+		return fmt.Errorf("config: unresolved branch limit %d must be positive", m.MaxUnresolvedBranches)
+	case m.BHTEntries <= 0 || m.BHTEntries&(m.BHTEntries-1) != 0:
+		return fmt.Errorf("config: BHT entries %d must be a positive power of two", m.BHTEntries)
+	case m.DispatchWidth <= 0:
+		return fmt.Errorf("config: dispatch width %d must be positive", m.DispatchWidth)
+	case m.APWidth <= 0 || m.EPWidth <= 0:
+		return fmt.Errorf("config: unit widths (%d,%d) must be positive", m.APWidth, m.EPWidth)
+	case m.SharedFUs < 0:
+		return fmt.Errorf("config: shared FUs %d must be non-negative", m.SharedFUs)
+	case m.MSHRsPerThread < 0:
+		return fmt.Errorf("config: MSHRs per thread %d must be non-negative", m.MSHRsPerThread)
+	case m.APLatency <= 0 || m.EPLatency <= 0:
+		return fmt.Errorf("config: FU latencies (%d,%d) must be positive", m.APLatency, m.EPLatency)
+	case m.IQSize <= 0 || m.APQSize <= 0 || m.SAQSize <= 0 || m.ROBSize <= 0:
+		return fmt.Errorf("config: queue sizes (%d,%d,%d,%d) must be positive", m.IQSize, m.APQSize, m.SAQSize, m.ROBSize)
+	case m.APRegs < 32+1:
+		return fmt.Errorf("config: AP registers %d must exceed the 32 architectural mappings", m.APRegs)
+	case m.EPRegs < 32+1:
+		return fmt.Errorf("config: EP registers %d must exceed the 32 architectural mappings", m.EPRegs)
+	case m.GraduateWidth <= 0:
+		return fmt.Errorf("config: graduate width %d must be positive", m.GraduateWidth)
+	}
+	switch m.FetchPolicy {
+	case FetchICOUNT, FetchRoundRobin, "":
+	default:
+		return fmt.Errorf("config: unknown fetch policy %q", m.FetchPolicy)
+	}
+	switch m.IssuePolicy {
+	case IssueRoundRobin, IssueOldestFirst, "":
+	default:
+		return fmt.Errorf("config: unknown issue policy %q", m.IssuePolicy)
+	}
+	switch m.Predictor {
+	case branch.KindBHT, branch.KindGshare, branch.KindTaken, branch.KindNotTaken, "":
+	default:
+		return fmt.Errorf("config: unknown predictor %q", m.Predictor)
+	}
+	return m.Mem.Validate()
+}

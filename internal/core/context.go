@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/queue"
+	"repro/internal/regfile"
+	"repro/internal/rename"
+	"repro/internal/trace"
+)
+
+// Context is one hardware thread context. The paper replicates fetch and
+// dispatch state, register map tables, register files and all queues per
+// context; the issue logic, functional units and caches are shared (and
+// live in Core).
+type Context struct {
+	// ID is the thread index.
+	ID int
+	// Source is the thread's instruction stream.
+	Source trace.Reader
+	// Exhausted marks that Source has run dry; the thread idles.
+	Exhausted bool
+
+	// pending is a one-instruction peek buffer over Source, needed to
+	// stop fetching *before* consuming a branch that would exceed the
+	// control-speculation limit.
+	pending    isa.Inst
+	hasPending bool
+
+	// FetchBuf holds fetched instructions awaiting dispatch. Its length
+	// is the ICOUNT fetch-policy metric.
+	FetchBuf *queue.Ring[*DynInst]
+	// APQ and EPQ are the per-unit in-order issue queues. EPQ is the
+	// paper's Instruction Queue — the decoupling slippage window.
+	APQ, EPQ *queue.Ring[*DynInst]
+	// ROB is the reorder buffer (program order, graduation from the head).
+	ROB *queue.Ring[*DynInst]
+	// SAQ is the store address queue: stores from dispatch until their
+	// data is written to the cache. Loads check it for older conflicting
+	// stores.
+	SAQ *queue.Ring[*DynInst]
+
+	// APFile and EPFile are the physical register files.
+	APFile, EPFile *regfile.File
+	// Map is the architectural→physical register map table.
+	Map *rename.Table
+	// Pred is the thread's private branch predictor.
+	Pred branch.Predictor
+
+	// Meta is the per-file, per-physical-register bookkeeping.
+	Meta [isa.NumUnits][]regMeta
+
+	// NextSeq numbers dynamic instructions in program order.
+	NextSeq int64
+	// Unresolved counts in-flight (fetched, unresolved) branches; fetch
+	// stalls at the speculation limit.
+	Unresolved int
+	// unresolvedBranches lists issued branches awaiting resolution.
+	unresolvedBranches []*DynInst
+	// FetchBlocked is the mispredicted branch currently freezing fetch.
+	FetchBlocked *DynInst
+	// FetchResumeAt is the earliest cycle fetch may resume after a
+	// mispredict redirect.
+	FetchResumeAt int64
+
+	// PendingAccess lists issued loads awaiting cache acceptance, in age
+	// order.
+	PendingAccess []*DynInst
+
+	// pool recycles DynInst allocations.
+	pool []*DynInst
+}
+
+// newContext builds a context for machine m.
+func newContext(id int, m config.Machine, src trace.Reader) (*Context, error) {
+	kind := m.Predictor
+	if kind == "" {
+		kind = branch.KindBHT
+	}
+	pred, err := branch.New(kind, m.BHTEntries)
+	if err != nil {
+		return nil, err
+	}
+	c := &Context{
+		ID:       id,
+		Source:   src,
+		FetchBuf: queue.New[*DynInst](m.FetchBufSize),
+		APQ:      queue.New[*DynInst](m.APQSize),
+		EPQ:      queue.New[*DynInst](m.IQSize),
+		ROB:      queue.New[*DynInst](m.ROBSize),
+		SAQ:      queue.New[*DynInst](m.SAQSize),
+		APFile:   regfile.New(m.APRegs),
+		EPFile:   regfile.New(m.EPRegs),
+		Map:      rename.NewTable(),
+		Pred:     pred,
+	}
+	c.Meta[isa.AP] = make([]regMeta, m.APRegs)
+	c.Meta[isa.EP] = make([]regMeta, m.EPRegs)
+	if err := c.Map.Init(c.APFile, c.EPFile); err != nil {
+		return nil, fmt.Errorf("thread %d: %w", id, err)
+	}
+	return c, nil
+}
+
+// file returns the register file for the given unit.
+func (c *Context) file(u isa.Unit) *regfile.File {
+	if u == isa.AP {
+		return c.APFile
+	}
+	return c.EPFile
+}
+
+// alloc takes a DynInst from the pool (or allocates one) and resets it.
+func (c *Context) alloc() *DynInst {
+	var d *DynInst
+	if n := len(c.pool); n > 0 {
+		d = c.pool[n-1]
+		c.pool = c.pool[:n-1]
+	} else {
+		d = new(DynInst)
+	}
+	d.reset()
+	return d
+}
+
+// release returns a graduated DynInst to the pool.
+func (c *Context) release(d *DynInst) {
+	c.pool = append(c.pool, d)
+}
+
+// peekSource returns the next trace instruction without consuming it.
+func (c *Context) peekSource() (*isa.Inst, bool) {
+	if c.hasPending {
+		return &c.pending, true
+	}
+	if c.Exhausted {
+		return nil, false
+	}
+	if !c.Source.Next(&c.pending) {
+		c.Exhausted = true
+		return nil, false
+	}
+	c.hasPending = true
+	return &c.pending, true
+}
+
+// consumeSource consumes the peeked instruction.
+func (c *Context) consumeSource() {
+	if !c.hasPending {
+		panic("core: consumeSource without peek")
+	}
+	c.hasPending = false
+}
+
+// InFlight returns the number of instructions in the ROB (dispatched, not
+// graduated), used by tests and the drain logic.
+func (c *Context) InFlight() int { return c.ROB.Len() }

@@ -1,0 +1,489 @@
+// Package core implements the paper's primary contribution: a cycle-level
+// model of a simultaneous-multithreaded, access/execute-decoupled
+// processor.
+//
+// Each hardware context runs in decoupled mode: at dispatch, instructions
+// are steered by data type to the Address Processor (integer, memory and
+// branch instructions) or the Execute Processor (floating-point), each of
+// which issues **in order within each thread's stream**. The per-thread
+// Instruction Queue between dispatch and the EP lets the AP slip ahead,
+// issuing loads long before the EP consumes their values — the decoupling
+// that hides memory latency. All threads share the issue slots (full
+// simultaneous issue with round-robin priority), the functional units and
+// the caches; fetch picks the two threads with the fewest instructions
+// pending dispatch (ICOUNT).
+//
+// The "non-decoupled" comparison machine of the paper (instruction queues
+// disabled) is the same hardware with slippage suppressed: each thread
+// issues in program order across *both* units, like a conventional
+// in-order superscalar with separate integer/FP pipelines.
+//
+// The model is trace driven and simulates the correct path only: on a
+// branch misprediction the thread's fetch freezes until the branch
+// resolves in the AP (plus a one-cycle redirect), and the lost slots are
+// accounted in the same "wrong-path or idle" bucket the paper uses.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Core is the shared machine: issue logic, functional units, memory
+// subsystem, plus one Context per hardware thread.
+type Core struct {
+	cfg  config.Machine
+	mem  *mem.System
+	ctxs []*Context
+
+	now int64
+	// rotate gives round-robin priority for issue, dispatch and cache
+	// access across threads; it advances every cycle.
+	rotate int
+
+	col stats.Collector
+
+	// scratch buffers reused every cycle (avoid per-cycle allocation).
+	reasonBuf [isa.NumUnits][]stats.WasteReason
+	fetchPick []int
+	orderBuf  []int
+}
+
+// New builds a core for machine m (after applying the latency scaling
+// rule) with one instruction source per thread.
+func New(m config.Machine, sources []trace.Reader) (*Core, error) {
+	m = m.Effective()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) != m.Threads {
+		return nil, fmt.Errorf("core: %d sources for %d threads", len(sources), m.Threads)
+	}
+	ms, err := mem.New(m.Mem)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{cfg: m, mem: ms}
+	for i := 0; i < m.Threads; i++ {
+		ctx, err := newContext(i, m, sources[i])
+		if err != nil {
+			return nil, err
+		}
+		c.ctxs = append(c.ctxs, ctx)
+	}
+	for u := range c.reasonBuf {
+		c.reasonBuf[u] = make([]stats.WasteReason, 0, m.Threads)
+	}
+	c.fetchPick = make([]int, 0, m.Threads)
+	c.orderBuf = make([]int, 0, m.Threads)
+	return c, nil
+}
+
+// Config returns the effective (scaled) machine configuration.
+func (c *Core) Config() config.Machine { return c.cfg }
+
+// Mem returns the memory subsystem.
+func (c *Core) Mem() *mem.System { return c.mem }
+
+// Now returns the current cycle.
+func (c *Core) Now() int64 { return c.now }
+
+// Collector returns the statistics collector (mutable; reset between
+// warm-up and measurement).
+func (c *Core) Collector() *stats.Collector { return &c.col }
+
+// Context returns thread t's context (for tests and reports).
+func (c *Core) Context(t int) *Context { return c.ctxs[t] }
+
+// Done reports whether every thread has exhausted its source and drained
+// its pipeline.
+func (c *Core) Done() bool {
+	for _, ctx := range c.ctxs {
+		if !ctx.Exhausted || ctx.InFlight() > 0 || ctx.FetchBuf.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances the machine by one cycle. Stages run back to front so a
+// value produced in cycle N is consumable in cycle N+latency and a fetched
+// instruction dispatches no earlier than the following cycle.
+func (c *Core) Tick() {
+	c.now++
+	c.col.Cycles++
+	c.mem.BeginCycle(c.now)
+	c.resolveBranches()
+	c.graduate()
+	c.cacheAccess()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	c.rotate++
+}
+
+// Run ticks until every source is drained or the cycle limit is hit; it
+// returns the number of cycles executed and whether the machine drained.
+func (c *Core) Run(maxCycles int64) (int64, bool) {
+	start := c.now
+	for !c.Done() {
+		if c.now-start >= maxCycles {
+			return c.now - start, false
+		}
+		c.Tick()
+	}
+	return c.now - start, true
+}
+
+// ----------------------------------------------------------------------------
+// Branch resolution.
+
+// resolveBranches retires issued branches whose AP latency has elapsed:
+// releases the speculation slot and un-freezes fetch after a
+// misprediction (one-cycle redirect). Predictor state is trained at fetch
+// (see fetchThread): in a correct-path-only trace-driven model the fetch
+// stream is the architectural branch stream, so in-order training there
+// keeps history-based predictors (gshare) consistent; resolution here
+// only drives the pipeline timing.
+func (c *Core) resolveBranches() {
+	for _, ctx := range c.ctxs {
+		for i := 0; i < len(ctx.unresolvedBranches); {
+			b := ctx.unresolvedBranches[i]
+			if !b.Issued || b.DoneAt > c.now {
+				i++
+				continue
+			}
+			ctx.Unresolved--
+			c.col.Branches++
+			if b.Mispredicted {
+				c.col.Mispredicts++
+				if ctx.FetchBlocked == b {
+					ctx.FetchBlocked = nil
+					ctx.FetchResumeAt = c.now + 1 // redirect penalty
+				}
+			}
+			ctx.unresolvedBranches = append(ctx.unresolvedBranches[:i], ctx.unresolvedBranches[i+1:]...)
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Graduation.
+
+// graduate retires completed instructions from each ROB head in program
+// order. Stores graduate by writing to the cache (write-back,
+// write-allocate); a store blocked on its data operand or on a cache
+// structural hazard stalls its thread's graduation, which is what bounds
+// the AP's run-ahead when the EP falls far behind.
+func (c *Core) graduate() {
+	for k := 0; k < len(c.ctxs); k++ {
+		ctx := c.ctxs[(c.rotate+k)%len(c.ctxs)]
+		budget := c.cfg.GraduateWidth
+		for budget > 0 {
+			d, ok := ctx.ROB.Peek()
+			if !ok {
+				break
+			}
+			if d.IsStore() {
+				if !c.tryCommitStore(ctx, d) {
+					break
+				}
+			} else if d.DoneAt > c.now {
+				break
+			}
+			ctx.ROB.Pop()
+			if d.Dest.Valid() {
+				ctx.file(isa.DestUnit(&d.Inst)).Free(d.POld)
+			}
+			c.col.Graduated++
+			c.col.GraduatedByOp[d.Op]++
+			ctx.release(d)
+			budget--
+		}
+	}
+}
+
+// tryCommitStore attempts to write the store at the ROB head into the
+// cache. It returns false if the store is not ready (address not yet
+// computed, data operand not ready) or the cache rejected it this cycle.
+func (c *Core) tryCommitStore(ctx *Context, d *DynInst) bool {
+	if !d.Issued || c.now < d.AccessAt {
+		return false // address not computed yet
+	}
+	if !ctx.file(d.Src1File).Ready(d.PSrc1, c.now) {
+		return false // store data not produced yet
+	}
+	res := c.mem.StoreCommit(d.Addr)
+	if !res.OK {
+		return false // port or MSHR pressure: retry next cycle
+	}
+	// The SAQ is FIFO in program order and stores graduate in program
+	// order, so the head must be this store.
+	head, ok := ctx.SAQ.Pop()
+	if !ok || head != d {
+		panic("core: SAQ out of sync with ROB")
+	}
+	return true
+}
+
+// ----------------------------------------------------------------------------
+// Cache access for loads.
+
+// cacheAccess sends issued loads to the data cache in age order per
+// thread, with round-robin priority across threads. A load first checks
+// the SAQ for an older store to an overlapping address: with forwarding
+// enabled it takes the store's data once ready; otherwise it waits until
+// the store has committed (the paper's SAQ only lets loads bypass
+// *non-conflicting* stores).
+func (c *Core) cacheAccess() {
+	for k := 0; k < len(c.ctxs); k++ {
+		ctx := c.ctxs[(c.rotate+k)%len(c.ctxs)]
+		keep := ctx.PendingAccess[:0]
+		blocked := false // once one access is rejected, keep age order
+		for _, d := range ctx.PendingAccess {
+			if blocked || d.AccessAt > c.now {
+				keep = append(keep, d)
+				continue
+			}
+			switch c.tryLoad(ctx, d) {
+			case loadDone:
+				// dropped from pending
+			case loadRetry:
+				keep = append(keep, d)
+				blocked = true
+			}
+		}
+		ctx.PendingAccess = keep
+	}
+}
+
+type loadOutcome uint8
+
+const (
+	loadDone loadOutcome = iota
+	loadRetry
+)
+
+// tryLoad attempts one load's cache access.
+func (c *Core) tryLoad(ctx *Context, d *DynInst) loadOutcome {
+	// Older conflicting store in the SAQ? (All older stores have computed
+	// their addresses: the AP issues in order, so any store still awaiting
+	// its address is younger than d.)
+	for i := 0; i < ctx.SAQ.Len(); i++ {
+		st := ctx.SAQ.At(i)
+		if st.Seq >= d.Seq {
+			break // SAQ is in program order; the rest are younger
+		}
+		if !st.Issued || c.now < st.AccessAt {
+			continue // address not known yet; store is younger in AP order anyway
+		}
+		if !overlaps(d, st) {
+			continue
+		}
+		if c.cfg.StoreForwarding && ctx.file(st.Src1File).Ready(st.PSrc1, c.now) {
+			// Forward the store data to the load.
+			c.completeLoad(ctx, d, c.now+1, false)
+			c.col.StoreForwards++
+			return loadDone
+		}
+		c.col.LoadConflictStalls++
+		return loadRetry
+	}
+	res := c.mem.Load(d.Addr)
+	if !res.OK {
+		if res.Stall == mem.StallMSHR {
+			// The load is queued behind a full MSHR file: it will almost
+			// certainly miss. Mark its destination now so consumers
+			// blocked on it are classified (and sampled) as memory
+			// stalls rather than FU stalls.
+			file := isa.DestUnit(&d.Inst)
+			if !ctx.Meta[file][d.PDest].MissedLoad {
+				ctx.Meta[file][d.PDest] = regMeta{MissedLoad: true}
+			}
+		}
+		return loadRetry
+	}
+	c.completeLoad(ctx, d, res.ReadyAt, res.Miss)
+	return loadDone
+}
+
+// completeLoad records a load's data delivery time and, for misses, the
+// per-register metadata driving stall classification and the
+// perceived-latency samples.
+func (c *Core) completeLoad(ctx *Context, d *DynInst, readyAt int64, miss bool) {
+	d.Sent = true
+	d.Missed = miss
+	d.DoneAt = readyAt
+	file := isa.DestUnit(&d.Inst)
+	ctx.file(file).SetReadyAt(d.PDest, readyAt)
+	if miss {
+		// Preserve the Sampled flag: a consumer may already have flushed
+		// its sample while the access was queued on a full MSHR file.
+		ctx.Meta[file][d.PDest].MissedLoad = true
+	}
+}
+
+// overlaps reports whether a load and a store touch overlapping bytes.
+func overlaps(ld, st *DynInst) bool {
+	ls, le := ld.Addr, ld.Addr+uint64(ld.Size)
+	ss, se := st.Addr, st.Addr+uint64(st.Size)
+	return ls < se && ss < le
+}
+
+// ----------------------------------------------------------------------------
+// Dispatch.
+
+// dispatch renames and steers instructions from the fetch buffers into
+// the issue queues, round-robin across threads, up to DispatchWidth per
+// cycle, stopping a thread at its first unavailable resource (in-order
+// dispatch with back-pressure).
+func (c *Core) dispatch() {
+	budget := c.cfg.DispatchWidth
+	for k := 0; k < len(c.ctxs) && budget > 0; k++ {
+		ctx := c.ctxs[(c.rotate+k)%len(c.ctxs)]
+		for budget > 0 {
+			d, ok := ctx.FetchBuf.Peek()
+			if !ok {
+				break
+			}
+			if !c.tryDispatch(ctx, d) {
+				c.col.DispatchStalls++
+				break
+			}
+			ctx.FetchBuf.Pop()
+			budget--
+		}
+	}
+}
+
+// tryDispatch allocates every resource the instruction needs; on any
+// shortage it leaves the machine untouched and reports failure.
+func (c *Core) tryDispatch(ctx *Context, d *DynInst) bool {
+	if ctx.ROB.Full() {
+		return false
+	}
+	var q = ctx.APQ
+	if d.Unit == isa.EP {
+		q = ctx.EPQ
+	}
+	if q.Full() {
+		return false
+	}
+	if d.IsStore() && ctx.SAQ.Full() {
+		return false
+	}
+	destFile := isa.DestUnit(&d.Inst)
+	if d.Dest.Valid() && ctx.file(destFile).FreeCount() == 0 {
+		return false
+	}
+	// All resources available: rename.
+	if d.Src1.Valid() {
+		d.Src1File = isa.RegUnit(d.Src1)
+		d.PSrc1 = ctx.Map.Get(d.Src1)
+	}
+	if d.Src2.Valid() {
+		d.Src2File = isa.RegUnit(d.Src2)
+		d.PSrc2 = ctx.Map.Get(d.Src2)
+	}
+	if d.Dest.Valid() {
+		p, ok := ctx.file(destFile).Alloc()
+		if !ok {
+			panic("core: register file exhausted after FreeCount check")
+		}
+		d.PDest = p
+		d.POld = ctx.Map.Set(d.Dest, p)
+		ctx.Meta[destFile][p] = regMeta{}
+	}
+	ctx.ROB.Push(d)
+	q.Push(d)
+	if d.IsStore() {
+		ctx.SAQ.Push(d)
+	}
+	return true
+}
+
+// ----------------------------------------------------------------------------
+// Fetch.
+
+// fetch brings instructions from the per-thread sources into the fetch
+// buffers: up to FetchThreads threads per cycle (chosen by ICOUNT or
+// round-robin), up to FetchWidth consecutive instructions each, stopping
+// at a predicted-taken branch, a full buffer, the control-speculation
+// limit, or a misprediction (which freezes the thread until resolution).
+func (c *Core) fetch() {
+	c.fetchPick = c.fetchPick[:0]
+	for k := 0; k < len(c.ctxs); k++ {
+		t := (c.rotate + k) % len(c.ctxs)
+		ctx := c.ctxs[t]
+		if ctx.FetchBlocked != nil || c.now < ctx.FetchResumeAt || ctx.FetchBuf.Full() {
+			continue
+		}
+		if _, ok := ctx.peekSource(); !ok {
+			continue
+		}
+		c.fetchPick = append(c.fetchPick, t)
+	}
+	if c.cfg.FetchPolicy != config.FetchRoundRobin {
+		// ICOUNT: fewest instructions pending dispatch first. Stable
+		// insertion sort over the rotated order keeps ties round-robin.
+		p := c.fetchPick
+		for i := 1; i < len(p); i++ {
+			for j := i; j > 0 && c.ctxs[p[j]].FetchBuf.Len() < c.ctxs[p[j-1]].FetchBuf.Len(); j-- {
+				p[j], p[j-1] = p[j-1], p[j]
+			}
+		}
+	}
+	n := c.cfg.FetchThreads
+	if n > len(c.fetchPick) {
+		n = len(c.fetchPick)
+	}
+	for _, t := range c.fetchPick[:n] {
+		c.fetchThread(c.ctxs[t])
+	}
+}
+
+// fetchThread fetches up to FetchWidth instructions for one thread.
+func (c *Core) fetchThread(ctx *Context) {
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if ctx.FetchBuf.Full() {
+			return
+		}
+		in, ok := ctx.peekSource()
+		if !ok {
+			return
+		}
+		if in.IsBranch() && ctx.Unresolved >= c.cfg.MaxUnresolvedBranches {
+			return // speculation limit: leave the branch for later
+		}
+		d := ctx.alloc()
+		d.Inst = *in
+		ctx.consumeSource()
+		d.FetchedAt = c.now
+		d.Thread = ctx.ID
+		d.Seq = ctx.NextSeq
+		ctx.NextSeq++
+		d.Unit = isa.Steer(&d.Inst)
+		ctx.FetchBuf.Push(d)
+		c.col.FetchedInsts++
+
+		if d.IsBranch() {
+			ctx.Unresolved++
+			ctx.unresolvedBranches = append(ctx.unresolvedBranches, d)
+			predicted := ctx.Pred.Predict(d.PC)
+			ctx.Pred.Update(d.PC, d.Taken)
+			if predicted != d.Taken {
+				d.Mispredicted = true
+				ctx.FetchBlocked = d
+				return // wrong path from here: freeze until resolution
+			}
+			if d.Taken {
+				return // fetch stops at a (correctly) predicted-taken branch
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// Never is a cycle count beyond any simulation horizon, used for event
+// times that are not yet known (e.g. a load's completion before the cache
+// has accepted it).
+const Never = int64(1) << 62
+
+// DynInst is one in-flight dynamic instruction. Instances are pooled per
+// context and recycled at graduation.
+type DynInst struct {
+	isa.Inst
+
+	// Thread is the owning hardware context.
+	Thread int
+	// Seq is the per-thread program order number (dense, starting at 0).
+	Seq int64
+	// Unit is the processing unit the instruction issues in (steering).
+	Unit isa.Unit
+
+	// PDest is the renamed destination register (in DestUnit's file), or
+	// regfile.None.
+	PDest regfile.PhysReg
+	// POld is the destination's previous mapping, freed at graduation.
+	POld regfile.PhysReg
+	// PSrc1 and PSrc2 are the renamed sources (regfile.None when absent).
+	PSrc1, PSrc2 regfile.PhysReg
+	// Src1File and Src2File identify which unit's file hosts each source.
+	Src1File, Src2File isa.Unit
+
+	// FetchedAt is the cycle the instruction was fetched (used by the
+	// oldest-first issue policy).
+	FetchedAt int64
+	// Issued marks that the instruction left its issue queue.
+	Issued bool
+	// IssueAt is the issue cycle.
+	IssueAt int64
+	// DoneAt is the cycle the result is complete: IssueAt+latency for ALU
+	// ops and branches, the data-return cycle for loads, Never while
+	// unknown. Stores use addr/data state instead (see graduate).
+	DoneAt int64
+
+	// AccessAt is the earliest cycle a load/store may probe the cache
+	// (address available, one AP latency after issue).
+	AccessAt int64
+	// Sent marks that the memory system accepted the access.
+	Sent bool
+	// Missed marks that the access missed in L1.
+	Missed bool
+
+	// Mispredicted marks a branch whose predicted direction was wrong;
+	// the thread's fetch is stalled until it resolves.
+	Mispredicted bool
+
+	// MemStall counts cycles this instruction sat at the head of its
+	// issue stream blocked on the operand in BlockPhys while issue slots
+	// were available — the raw material of the perceived-latency metric.
+	MemStall int64
+	// BlockPhys/BlockFile identify the missed-load operand currently
+	// blocking this instruction (regfile.None when none).
+	BlockPhys regfile.PhysReg
+	BlockFile isa.Unit
+}
+
+// reset clears a pooled DynInst for reuse.
+func (d *DynInst) reset() {
+	*d = DynInst{
+		PDest:     regfile.None,
+		POld:      regfile.None,
+		PSrc1:     regfile.None,
+		PSrc2:     regfile.None,
+		BlockPhys: regfile.None,
+		DoneAt:    Never,
+		AccessAt:  Never,
+	}
+}
+
+// regMeta is the per-physical-register bookkeeping used for stall
+// classification and perceived-latency sampling. It lives in flat arrays
+// indexed by physical register (value semantics — no dangling pointers to
+// recycled DynInsts).
+type regMeta struct {
+	// MissedLoad marks that the register's value is produced by a load
+	// that missed in L1.
+	MissedLoad bool
+	// Sampled marks that the perceived-latency sample for that load has
+	// been recorded (one sample per missed load, at its first consumer).
+	Sampled bool
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/queue"
+	"repro/internal/regfile"
+	"repro/internal/stats"
+)
+
+// issue runs the shared issue stage for one cycle. In decoupled mode each
+// unit walks every thread's own stream in order (full simultaneous issue,
+// round-robin thread priority); slippage between the AP and EP streams is
+// unbounded up to the queue capacities. In non-decoupled mode each thread
+// issues strictly in program order across both units — the degenerate
+// machine of the paper with the instruction queues disabled.
+func (c *Core) issue() {
+	shared := c.cfg.SharedFUs
+	if shared <= 0 {
+		shared = 1 << 30 // effectively unlimited: private per-unit FUs
+	}
+	if c.cfg.Decoupled {
+		c.issueDecoupled(shared)
+	} else {
+		c.issueMerged(shared)
+	}
+}
+
+// issueDecoupled walks the AP streams then the EP streams.
+func (c *Core) issueDecoupled(shared int) {
+	apSlots, epSlots := c.cfg.APWidth, c.cfg.EPWidth
+	c.reasonBuf[isa.AP] = c.reasonBuf[isa.AP][:0]
+	c.reasonBuf[isa.EP] = c.reasonBuf[isa.EP][:0]
+
+	for _, t := range c.threadOrder(isa.AP) {
+		if apSlots <= 0 || shared <= 0 {
+			break
+		}
+		c.issueStream(c.ctxs[t], isa.AP, &apSlots, &shared)
+	}
+	for _, t := range c.threadOrder(isa.EP) {
+		if epSlots <= 0 || shared <= 0 {
+			break
+		}
+		c.issueStream(c.ctxs[t], isa.EP, &epSlots, &shared)
+	}
+	c.accountSlots(isa.AP, c.cfg.APWidth, apSlots)
+	c.accountSlots(isa.EP, c.cfg.EPWidth, epSlots)
+}
+
+// threadOrder returns the thread visit order for one unit's issue walk:
+// round-robin rotation (the paper's policy) or oldest-first by the fetch
+// time of each thread's stream head (ablation A7).
+func (c *Core) threadOrder(unit isa.Unit) []int {
+	n := len(c.ctxs)
+	order := c.orderBuf[:0]
+	for k := 0; k < n; k++ {
+		order = append(order, (c.rotate+k)%n)
+	}
+	if c.cfg.IssuePolicy != config.IssueOldestFirst {
+		c.orderBuf = order
+		return order
+	}
+	age := func(t int) int64 {
+		var q *queue.Ring[*DynInst]
+		if unit == isa.AP {
+			q = c.ctxs[t].APQ
+		} else {
+			q = c.ctxs[t].EPQ
+		}
+		if d, ok := q.Peek(); ok {
+			return d.FetchedAt
+		}
+		return Never // empty stream: lowest priority
+	}
+	// Stable insertion sort over the rotated order keeps ties fair.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && age(order[j]) < age(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	c.orderBuf = order
+	return order
+}
+
+// issueStream issues consecutive ready instructions from one thread's
+// stream for the given unit, recording the blocking reason when the head
+// cannot issue while slots remain.
+func (c *Core) issueStream(ctx *Context, unit isa.Unit, slots, shared *int) {
+	q := ctx.APQ
+	if unit == isa.EP {
+		q = ctx.EPQ
+	}
+	for *slots > 0 && *shared > 0 {
+		d, ok := q.Peek()
+		if !ok {
+			c.record(unit, stats.WasteIdle)
+			return
+		}
+		reason, ready := c.classify(ctx, d)
+		if !ready {
+			c.record(unit, reason)
+			return
+		}
+		q.Pop()
+		c.execute(ctx, d)
+		*slots--
+		*shared--
+		c.col.Slots[unit].Issued++
+	}
+}
+
+// issueMerged implements the non-decoupled machine: per thread, walk the
+// merged program-order stream; stop at the first instruction that cannot
+// issue (operands, unit width, or shared FU budget).
+func (c *Core) issueMerged(shared int) {
+	apSlots, epSlots := c.cfg.APWidth, c.cfg.EPWidth
+	c.reasonBuf[isa.AP] = c.reasonBuf[isa.AP][:0]
+	c.reasonBuf[isa.EP] = c.reasonBuf[isa.EP][:0]
+
+	for _, t := range c.threadOrder(isa.AP) {
+		if (apSlots <= 0 && epSlots <= 0) || shared <= 0 {
+			break
+		}
+		ctx := c.ctxs[t]
+	walk:
+		for shared > 0 {
+			d := mergedHead(ctx)
+			if d == nil {
+				c.record(isa.AP, stats.WasteIdle)
+				c.record(isa.EP, stats.WasteIdle)
+				break
+			}
+			slots := &apSlots
+			q := ctx.APQ
+			if d.Unit == isa.EP {
+				slots = &epSlots
+				q = ctx.EPQ
+			}
+			if *slots == 0 {
+				// In-order: a width-stalled head blocks the other unit
+				// too. Charge the structural reason to the other unit.
+				other := isa.AP
+				if d.Unit == isa.AP {
+					other = isa.EP
+				}
+				c.record(other, stats.WasteOther)
+				break walk
+			}
+			reason, ready := c.classify(ctx, d)
+			if !ready {
+				// Program order blocks both units on this reason.
+				c.record(isa.AP, reason)
+				c.record(isa.EP, reason)
+				break walk
+			}
+			q.Pop()
+			c.execute(ctx, d)
+			*slots--
+			shared--
+			c.col.Slots[d.Unit].Issued++
+		}
+	}
+	c.accountSlots(isa.AP, c.cfg.APWidth, apSlots)
+	c.accountSlots(isa.EP, c.cfg.EPWidth, epSlots)
+}
+
+// mergedHead returns the older of the two stream heads (program order).
+func mergedHead(ctx *Context) *DynInst {
+	a, aok := ctx.APQ.Peek()
+	e, eok := ctx.EPQ.Peek()
+	switch {
+	case aok && eok:
+		if a.Seq < e.Seq {
+			return a
+		}
+		return e
+	case aok:
+		return a
+	case eok:
+		return e
+	default:
+		return nil
+	}
+}
+
+// classify decides whether d can issue now and, if not, why. It also
+// maintains d's memory-stall accounting (the perceived-latency numerator).
+func (c *Core) classify(ctx *Context, d *DynInst) (stats.WasteReason, bool) {
+	// Stores issue on address operands only (Src2); the data operand
+	// (Src1) joins at graduation via the SAQ. Everything else needs all
+	// sources.
+	if !d.IsStore() && d.PSrc1 != regfile.None && !ctx.file(d.Src1File).Ready(d.PSrc1, c.now) {
+		return c.blockOn(ctx, d, d.PSrc1, d.Src1File), false
+	}
+	if d.PSrc2 != regfile.None && !ctx.file(d.Src2File).Ready(d.PSrc2, c.now) {
+		return c.blockOn(ctx, d, d.PSrc2, d.Src2File), false
+	}
+	return 0, true
+}
+
+// blockOn classifies a not-ready operand and accrues the head's memory
+// stall time. Switching blockers flushes the previous blocker's
+// perceived-latency sample.
+func (c *Core) blockOn(ctx *Context, d *DynInst, p regfile.PhysReg, file isa.Unit) stats.WasteReason {
+	if !ctx.Meta[file][p].MissedLoad {
+		return stats.WasteFU
+	}
+	if d.BlockPhys != p || d.BlockFile != file {
+		c.flushBlockSample(ctx, d)
+		d.BlockPhys = p
+		d.BlockFile = file
+		d.MemStall = 0
+	}
+	d.MemStall++
+	return stats.WasteMem
+}
+
+// flushBlockSample records the perceived-latency sample for the missed
+// load currently blocking d, if one is pending.
+func (c *Core) flushBlockSample(ctx *Context, d *DynInst) {
+	if d.BlockPhys == regfile.None {
+		return
+	}
+	m := &ctx.Meta[d.BlockFile][d.BlockPhys]
+	if m.MissedLoad && !m.Sampled {
+		m.Sampled = true
+		c.addPerceived(d.BlockFile, d.MemStall)
+	}
+	d.BlockPhys = regfile.None
+	d.MemStall = 0
+}
+
+// addPerceived records one perceived-latency sample, classified FP or
+// integer by the register file the load writes.
+func (c *Core) addPerceived(file isa.Unit, cycles int64) {
+	if file == isa.EP {
+		c.col.PerceivedFP.Add(cycles)
+	} else {
+		c.col.PerceivedInt.Add(cycles)
+	}
+}
+
+// execute performs issue-time actions: computes completion times, writes
+// register-ready times, starts memory accesses and branch resolution, and
+// takes the perceived-latency samples for consumed missed loads.
+func (c *Core) execute(ctx *Context, d *DynInst) {
+	d.Issued = true
+	d.IssueAt = c.now
+
+	// Perceived-latency sampling: first consumer of each missed load.
+	c.samplePerceived(ctx, d)
+
+	switch d.Op {
+	case isa.OpLoad:
+		d.AccessAt = c.now + c.cfg.APLatency
+		ctx.PendingAccess = append(ctx.PendingAccess, d)
+	case isa.OpStore:
+		d.AccessAt = c.now + c.cfg.APLatency
+		d.DoneAt = d.AccessAt // address computed; data joins at graduation
+	case isa.OpBranch:
+		d.DoneAt = c.now + c.cfg.APLatency
+	default:
+		lat := c.cfg.APLatency
+		if d.Unit == isa.EP {
+			lat = c.cfg.EPLatency
+		}
+		d.DoneAt = c.now + lat
+		if d.PDest != regfile.None {
+			ctx.file(isa.DestUnit(&d.Inst)).SetReadyAt(d.PDest, d.DoneAt)
+		}
+	}
+}
+
+// samplePerceived records a zero-or-more-cycle sample for every
+// missed-load operand this instruction consumes whose sample is still
+// pending. The stall counted is the time *this* instruction spent blocked
+// on that operand at the head of its stream — zero when decoupling
+// delivered the data before the consumer arrived.
+func (c *Core) samplePerceived(ctx *Context, d *DynInst) {
+	take := func(p regfile.PhysReg, file isa.Unit) {
+		if p == regfile.None {
+			return
+		}
+		m := &ctx.Meta[file][p]
+		if !m.MissedLoad || m.Sampled {
+			return
+		}
+		m.Sampled = true
+		var cycles int64
+		if d.BlockPhys == p && d.BlockFile == file {
+			cycles = d.MemStall
+			d.BlockPhys = regfile.None
+			d.MemStall = 0
+		}
+		c.addPerceived(file, cycles)
+	}
+	if !d.IsStore() { // store data is consumed at graduation, not issue
+		take(d.PSrc1, d.Src1File)
+	}
+	take(d.PSrc2, d.Src2File)
+}
+
+// record notes one thread's blocking reason for a unit this cycle.
+func (c *Core) record(unit isa.Unit, r stats.WasteReason) {
+	c.reasonBuf[unit] = append(c.reasonBuf[unit], r)
+}
+
+// accountSlots distributes a unit's wasted slots this cycle across the
+// blocked threads' reasons (evenly, one reason per thread), defaulting to
+// idle when no thread reported a reason — the Tullsen-style accounting the
+// paper's Figure 3 uses.
+func (c *Core) accountSlots(unit isa.Unit, width, left int) {
+	s := &c.col.Slots[unit]
+	s.Total += int64(width)
+	if left <= 0 {
+		return
+	}
+	reasons := c.reasonBuf[unit]
+	if len(reasons) == 0 {
+		s.Wasted[stats.WasteIdle] += float64(left)
+		return
+	}
+	share := float64(left) / float64(len(reasons))
+	for _, r := range reasons {
+		s.Wasted[r] += share
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+// CSV export of the figure grids, for plotting pipelines. Every method
+// writes RFC-4180 rows with a header line; numeric cells use enough
+// precision to round-trip the measurements.
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fs(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// WriteCSV emits the Figure-1 grids in long form:
+// benchmark,l2,perceived_fp,perceived_int,ipc,ipc_loss,load_miss,store_miss
+// (miss ratios repeat their L2=256 value on every row of a benchmark).
+func (r *Fig1Result) WriteCSV(w io.Writer) error {
+	header := []string{"benchmark", "l2", "perceived_fp", "perceived_int", "ipc", "ipc_loss", "load_miss", "store_miss"}
+	var rows [][]string
+	for bi, name := range r.Benchmarks {
+		for li, lat := range r.Latencies {
+			rows = append(rows, []string{
+				name,
+				strconv.FormatInt(lat, 10),
+				fs(r.PerceivedFP[bi][li]),
+				fs(r.PerceivedInt[bi][li]),
+				fs(r.IPC[bi][li]),
+				fs(r.IPCLoss[bi][li]),
+				fs(r.LoadMiss[bi]),
+				fs(r.StoreMiss[bi]),
+			})
+		}
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the Figure-3 breakdown in long form:
+// threads,ipc,unit,useful,wait_mem,wait_fu,other,idle
+func (r *Fig3Result) WriteCSV(w io.Writer) error {
+	header := []string{"threads", "ipc", "unit", "useful", "wait_mem", "wait_fu", "other", "idle"}
+	var rows [][]string
+	units := []string{"AP", "EP"}
+	for i, t := range r.Threads {
+		for u, name := range units {
+			s := r.Slots[i][u]
+			rows = append(rows, []string{
+				strconv.Itoa(t),
+				fs(r.IPC[i]),
+				name,
+				fs(s.UsefulFrac()),
+				fs(s.WastedFrac(stats.WasteMem)),
+				fs(s.WastedFrac(stats.WasteFU)),
+				fs(s.WastedFrac(stats.WasteOther)),
+				fs(s.WastedFrac(stats.WasteIdle)),
+			})
+		}
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the Figure-4 grids in long form:
+// threads,decoupled,l2,perceived,ipc,ipc_loss
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	header := []string{"threads", "decoupled", "l2", "perceived", "ipc", "ipc_loss"}
+	var rows [][]string
+	for ci, cfg := range r.Configs {
+		for li, lat := range r.Latencies {
+			rows = append(rows, []string{
+				strconv.Itoa(cfg.Threads),
+				strconv.FormatBool(cfg.Decoupled),
+				strconv.FormatInt(lat, 10),
+				fs(r.Perceived[ci][li]),
+				fs(r.IPC[ci][li]),
+				fs(r.IPCLoss[ci][li]),
+			})
+		}
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits the Figure-5 series in long form:
+// l2,decoupled,threads,ipc,bus_util (bus only recorded for the L2=64 runs).
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	header := []string{"l2", "decoupled", "threads", "ipc", "bus_util"}
+	var rows [][]string
+	add := func(l2 int, dec bool, threads []int, ipc, bus []float64) {
+		for i, t := range threads {
+			b := ""
+			if bus != nil {
+				b = fs(bus[i])
+			}
+			rows = append(rows, []string{
+				strconv.Itoa(l2), strconv.FormatBool(dec), strconv.Itoa(t), fs(ipc[i]), b,
+			})
+		}
+	}
+	add(16, true, r.ThreadsShort, r.IPC16Dec, nil)
+	add(16, false, r.ThreadsShort, r.IPC16Non, nil)
+	add(64, true, r.ThreadsLong, r.IPC64Dec, r.Bus64Dec)
+	add(64, false, r.ThreadsLong, r.IPC64Non, r.Bus64Non)
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV emits an ablation sweep: config,ipc,bus_util,perceived
+func (r *AblationResult) WriteCSV(w io.Writer) error {
+	header := []string{"config", "ipc", "bus_util", "perceived"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Label, fs(row.IPC), fs(row.BusUtil), fs(row.Perceived)})
+	}
+	return writeCSV(w, header, rows)
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestFig1CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r, err := Fig1(QuickBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, b.String())
+	want := 1 + len(r.Benchmarks)*len(r.Latencies)
+	if len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	if rows[0][0] != "benchmark" || rows[0][1] != "l2" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	// Every row has the full column count (csv.Reader enforces
+	// rectangularity, but check the benchmark column is populated).
+	for _, row := range rows[1:] {
+		if row[0] == "" {
+			t.Fatal("empty benchmark cell")
+		}
+	}
+}
+
+func TestFig3CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r, err := Fig3(QuickBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, b.String())
+	if len(rows) != 1+len(r.Threads)*2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Fractions per unit must sum to ~1 (the accounting identity).
+	for _, row := range rows[1:] {
+		sum := 0.0
+		for _, cell := range row[3:] {
+			v := parseF(t, cell)
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("slot fractions sum to %v in %v", sum, row)
+		}
+	}
+}
+
+func TestFig4And5CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r4, err := Fig4(QuickBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r4.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, b.String())
+	if len(rows) != 1+len(r4.Configs)*len(r4.Latencies) {
+		t.Fatalf("fig4: %d rows", len(rows))
+	}
+
+	r5, err := Fig5(QuickBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := r5.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, b.String())
+	want := 1 + 2*len(r5.ThreadsShort) + 2*len(r5.ThreadsLong)
+	if len(rows) != want {
+		t.Fatalf("fig5: %d rows, want %d", len(rows), want)
+	}
+	// L2=16 rows have empty bus cells; L2=64 rows are populated.
+	for _, row := range rows[1:] {
+		if row[0] == "16" && row[4] != "" {
+			t.Fatal("L2=16 row has bus utilization")
+		}
+		if row[0] == "64" && row[4] == "" {
+			t.Fatal("L2=64 row missing bus utilization")
+		}
+	}
+}
+
+func TestAblationCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r, err := AblationFetchPolicy(QuickBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, b.String())
+	if len(rows) != 1+len(r.Rows) {
+		t.Fatalf("%d rows", len(rows))
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,181 @@
+// Package experiments regenerates every figure in the paper's evaluation
+// (Figures 1, 3, 4 and 5 — the paper has no numbered tables; Figure 2 is
+// the parameter table, reproduced by config.Figure2) plus the ablation
+// studies DESIGN.md calls out.
+//
+// Each experiment is a deterministic sweep of independent simulation runs;
+// the runs execute concurrently on the host's cores, but every run is
+// itself single-threaded and seeded, so results are bit-reproducible.
+// Formatting helpers print the same rows/series the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Budget controls the instruction budgets of every run in a sweep.
+type Budget struct {
+	// WarmupPerThread and MeasurePerThread are per-hardware-context
+	// instruction counts: a run with T threads warms up T×WarmupPerThread
+	// and measures T×MeasurePerThread graduated instructions.
+	WarmupPerThread  int64
+	MeasurePerThread int64
+	// SegmentLen overrides the mix rotation length (0 = default).
+	SegmentLen int64
+	// Seed perturbs the workloads.
+	Seed uint64
+	// Parallelism bounds concurrent runs (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultBudget is sized for figure-quality sweeps: large enough for
+// steady state, small enough to regenerate every figure in minutes.
+func DefaultBudget() Budget {
+	return Budget{WarmupPerThread: 150_000, MeasurePerThread: 500_000}
+}
+
+// QuickBudget is sized for tests.
+func QuickBudget() Budget {
+	return Budget{WarmupPerThread: 20_000, MeasurePerThread: 60_000}
+}
+
+func (b Budget) parallelism() int {
+	if b.Parallelism > 0 {
+		return b.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// run executes one simulation with budgets scaled by the thread count.
+func (b Budget) run(m config.Machine, sources []trace.Reader) (stats.Report, error) {
+	t := int64(m.Threads)
+	res, err := sim.Run(sim.Options{
+		Machine:      m,
+		Sources:      sources,
+		WarmupInsts:  b.WarmupPerThread * t,
+		MeasureInsts: b.MeasurePerThread * t,
+	})
+	if err != nil {
+		return stats.Report{}, err
+	}
+	if !res.Completed {
+		return res.Report, fmt.Errorf("experiments: run (threads=%d, L2=%d) hit the cycle cap",
+			m.Threads, m.Mem.L2Latency)
+	}
+	return res.Report, nil
+}
+
+// runMix executes one simulation on the paper's per-thread benchmark
+// mixes.
+func (b Budget) runMix(m config.Machine) (stats.Report, error) {
+	return b.run(m, workload.MixSources(m.Threads, workload.MixOpts{
+		SegmentLen: b.SegmentLen,
+		Seed:       b.Seed,
+	}))
+}
+
+// runBench executes one simulation of a single named benchmark.
+func (b Budget) runBench(m config.Machine, bench workload.Benchmark) (stats.Report, error) {
+	sources := make([]trace.Reader, m.Threads)
+	for t := 0; t < m.Threads; t++ {
+		sources[t] = bench.NewReader(workload.ReaderOpts{
+			AddrOffset: workload.ThreadAddrOffset(t),
+			Seed:       b.Seed + uint64(t),
+		})
+	}
+	return b.run(m, sources)
+}
+
+// parallel executes n jobs concurrently, preserving index order of
+// results. The first error aborts the batch result.
+func parallel(n, workers int, job func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		mu   sync.Mutex
+		err  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if e := job(i); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return err
+}
+
+// PaperLatencies is the L2 sweep of Figures 1 and 4.
+var PaperLatencies = []int64{1, 16, 32, 64, 128, 256}
+
+// ----------------------------------------------------------------------------
+// Table formatting.
+
+// formatTable renders a fixed-width text table.
+func formatTable(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run with QuickBudget (tens of thousands of
+// instructions per run) — enough to exercise every code path and the
+// robust qualitative invariants, far too little for figure-quality
+// numbers. The headline reproduction numbers live in EXPERIMENTS.md and
+// the root-level benchmarks.
+
+func TestFig1Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r, err := Fig1(QuickBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 10 || len(r.Latencies) != 6 {
+		t.Fatalf("grid shape: %d benchmarks × %d latencies", len(r.Benchmarks), len(r.Latencies))
+	}
+	idx := func(name string) int {
+		for i, b := range r.Benchmarks {
+			if b == name {
+				return i
+			}
+		}
+		t.Fatalf("benchmark %s missing", name)
+		return -1
+	}
+	last := len(r.Latencies) - 1
+	// fpppp has the worst perceived FP latency at 256 (Fig 1-a).
+	fp := idx("fpppp")
+	for _, name := range []string{"tomcatv", "swim", "mgrid", "applu", "apsi"} {
+		if r.PerceivedFP[fp][last] <= r.PerceivedFP[idx(name)][last] {
+			t.Errorf("fpppp perceived FP (%.1f) not above %s (%.1f)",
+				r.PerceivedFP[fp][last], name, r.PerceivedFP[idx(name)][last])
+		}
+	}
+	// The gather codes dominate perceived integer latency (Fig 1-b).
+	for _, gather := range []string{"su2cor", "wave5", "turb3d", "fpppp"} {
+		if r.PerceivedInt[idx(gather)][last] < 10 {
+			t.Errorf("%s perceived int latency %.1f too small at 256", gather, r.PerceivedInt[idx(gather)][last])
+		}
+	}
+	for _, regular := range []string{"tomcatv", "swim", "mgrid"} {
+		if r.PerceivedInt[idx(regular)][last] > 10 {
+			t.Errorf("%s perceived int latency %.1f unexpectedly high", regular, r.PerceivedInt[idx(regular)][last])
+		}
+	}
+	// fpppp has a near-zero miss ratio; hydro2d/swim are tall (Fig 1-c).
+	if r.LoadMiss[idx("fpppp")] > 0.03 {
+		t.Errorf("fpppp load miss %.3f too high", r.LoadMiss[idx("fpppp")])
+	}
+	if r.LoadMiss[idx("hydro2d")] < 2*r.LoadMiss[idx("mgrid")] {
+		t.Errorf("hydro2d (%.3f) not well above mgrid (%.3f)",
+			r.LoadMiss[idx("hydro2d")], r.LoadMiss[idx("mgrid")])
+	}
+	// The degraded trio loses the most IPC at 256 (Fig 1-d).
+	for _, bad := range []string{"su2cor", "hydro2d", "wave5"} {
+		for _, good := range []string{"mgrid", "applu", "turb3d"} {
+			if r.IPCLoss[idx(bad)][last] > r.IPCLoss[idx(good)][last] {
+				t.Errorf("%s (%.2f) does not degrade more than %s (%.2f)",
+					bad, r.IPCLoss[idx(bad)][last], good, r.IPCLoss[idx(good)][last])
+			}
+		}
+	}
+	// Tables render without panicking and mention every benchmark.
+	for _, table := range []string{r.TableA(), r.TableB(), r.TableC(), r.TableD()} {
+		for _, b := range r.Benchmarks {
+			if !strings.Contains(table, b) {
+				t.Errorf("table missing %s:\n%s", b, table)
+			}
+		}
+	}
+}
+
+func TestFig3Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r, err := Fig3(QuickBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multithreading raises throughput substantially from 1 to 3 threads
+	// and the curve flattens beyond 4 (paper: 2.31x, ~flat after 4).
+	if s := r.Speedup(3); s < 1.6 {
+		t.Errorf("3-thread speedup %.2f too small", s)
+	}
+	if r.IPC[3] < r.IPC[2] {
+		t.Errorf("IPC dropped from 3 to 4 threads: %.2f -> %.2f", r.IPC[2], r.IPC[3])
+	}
+	// With one thread the EP wastes more slots on FU latency than on
+	// memory (the paper's central single-thread observation).
+	ep := r.Slots[0][1]
+	if ep.Wasted[2] <= ep.Wasted[1] { // WasteFU vs WasteMem
+		t.Errorf("1-thread EP not FU-bound: fu=%.0f mem=%.0f", ep.Wasted[2], ep.Wasted[1])
+	}
+	// AP utilization grows monotonically in threads.
+	for i := 1; i < len(r.Threads); i++ {
+		if r.Slots[i][0].UsefulFrac()+1e-9 < r.Slots[i-1][0].UsefulFrac()-0.05 {
+			t.Errorf("AP utilization regressed at %d threads", r.Threads[i])
+		}
+	}
+	if !strings.Contains(r.Table(), "threads") {
+		t.Error("table missing header")
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r, err := Fig4(QuickBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoupled configurations lose far less IPC from 1→32 cycles than
+	// non-decoupled ones (paper: <4% vs >23%).
+	for threads := 1; threads <= 4; threads++ {
+		_, _, decLoss, ok := r.At(threads, true, 32)
+		if !ok {
+			t.Fatal("missing decoupled config")
+		}
+		_, _, nonLoss, ok := r.At(threads, false, 32)
+		if !ok {
+			t.Fatal("missing non-decoupled config")
+		}
+		// Losses are negative; decoupled must lose less (be closer to 0).
+		if decLoss < nonLoss {
+			t.Errorf("%dT: decoupled loss %.1f%% worse than non-decoupled %.1f%%",
+				threads, 100*decLoss, 100*nonLoss)
+		}
+	}
+	// Perceived latency: decoupled stays low, non-decoupled grows with
+	// the L2 latency.
+	decP, _, _, _ := r.At(4, true, 256)
+	nonP, _, _, _ := r.At(4, false, 256)
+	if decP > nonP/4 {
+		t.Errorf("4T perceived at 256: decoupled %.1f vs non-decoupled %.1f — gap too small", decP, nonP)
+	}
+	// Multithreading raises absolute IPC at every latency.
+	for _, lat := range []int64{1, 64} {
+		_, one, _, _ := r.At(1, true, lat)
+		_, four, _, _ := r.At(4, true, lat)
+		if four <= one {
+			t.Errorf("4T IPC (%.2f) not above 1T (%.2f) at L2=%d", four, one, lat)
+		}
+	}
+	for _, table := range []string{r.TableA(), r.TableB(), r.TableC()} {
+		if !strings.Contains(table, "decoupled") {
+			t.Error("table missing config labels")
+		}
+	}
+}
+
+func TestFig5Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r, err := Fig5(QuickBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoupled machine reaches near-peak with fewer threads than the
+	// non-decoupled machine at L2=16.
+	decPeak := PeakThreads(r.ThreadsShort, r.IPC16Dec, 0.05)
+	nonPeak := PeakThreads(r.ThreadsShort, r.IPC16Non, 0.05)
+	if decPeak >= nonPeak {
+		t.Errorf("peak threads: decoupled %d, non-decoupled %d — decoupling should need fewer", decPeak, nonPeak)
+	}
+	// At L2=64, the decoupled machine beats the non-decoupled one at
+	// every matched thread count.
+	for i := range r.ThreadsLong {
+		if r.IPC64Dec[i] < r.IPC64Non[i] {
+			t.Errorf("L2=64 at %d threads: decoupled %.2f below non-decoupled %.2f",
+				r.ThreadsLong[i], r.IPC64Dec[i], r.IPC64Non[i])
+		}
+	}
+	// Non-decoupled bus utilization grows with thread count at L2=64.
+	if r.Bus64Non[len(r.Bus64Non)-1] < r.Bus64Non[3] {
+		t.Error("non-decoupled bus utilization did not grow with threads")
+	}
+	if !strings.Contains(r.Table(), "bus64") {
+		t.Error("table missing bus columns")
+	}
+}
+
+func TestPeakThreads(t *testing.T) {
+	threads := []int{1, 2, 3, 4}
+	ipc := []float64{2, 5.8, 6.0, 6.05}
+	if got := PeakThreads(threads, ipc, 0.05); got != 2 {
+		t.Fatalf("PeakThreads = %d, want 2 (within 5%% of peak)", got)
+	}
+	if got := PeakThreads(threads, ipc, 0.0001); got != 4 {
+		t.Fatalf("strict PeakThreads = %d, want 4", got)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	b := QuickBudget()
+	for _, a := range []struct {
+		name string
+		run  func(Budget) (*AblationResult, error)
+		rows int
+	}{
+		{"unit widths", AblationUnitWidths, 5},
+		{"fetch policy", AblationFetchPolicy, 2},
+		{"associativity", AblationAssoc, 3},
+		{"forwarding", AblationForwarding, 2},
+		{"memory", AblationMemory, 6},
+		{"scaling", AblationScaling, 2},
+	} {
+		r, err := a.run(b)
+		if err != nil {
+			t.Errorf("%s: %v", a.name, err)
+			continue
+		}
+		if len(r.Rows) != a.rows {
+			t.Errorf("%s: %d rows, want %d", a.name, len(r.Rows), a.rows)
+		}
+		for _, row := range r.Rows {
+			if row.IPC <= 0 {
+				t.Errorf("%s [%s]: non-positive IPC", a.name, row.Label)
+			}
+		}
+		if !strings.Contains(r.Table(), "IPC") {
+			t.Errorf("%s: table malformed", a.name)
+		}
+	}
+}
+
+func TestFormatTableAlignment(t *testing.T) {
+	out := formatTable("T", []string{"a", "long-header"}, [][]string{
+		{"x", "1"},
+		{"yyyy", "22"},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Error("separator width mismatch")
+	}
+}
+
+func TestBudgetParallelism(t *testing.T) {
+	b := Budget{Parallelism: 3}
+	if b.parallelism() != 3 {
+		t.Fatal("explicit parallelism ignored")
+	}
+	if (Budget{}).parallelism() < 1 {
+		t.Fatal("default parallelism invalid")
+	}
+}
+
+func TestParallelPreservesOrderAndErrors(t *testing.T) {
+	out := make([]int, 50)
+	err := parallel(50, 8, func(i int) error {
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+	err = parallel(10, 4, func(i int) error {
+		if i == 7 {
+			return errFake
+		}
+		return nil
+	})
+	if err != errFake {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }

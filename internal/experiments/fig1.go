@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// Fig1Result reproduces the paper's Figure 1: the latency-hiding
+// effectiveness of single-threaded decoupling on the Section-2 machine,
+// per benchmark, across L2 latencies 1–256 (queues and register files
+// scaled proportionally to latency, per the paper).
+type Fig1Result struct {
+	// Benchmarks lists the benchmark names (paper order).
+	Benchmarks []string
+	// Latencies is the swept L2 latency axis.
+	Latencies []int64
+	// PerceivedFP[b][l] is the average perceived FP-load miss latency
+	// (Figure 1-a).
+	PerceivedFP [][]float64
+	// PerceivedInt[b][l] is the integer equivalent (Figure 1-b).
+	PerceivedInt [][]float64
+	// LoadMiss[b] and StoreMiss[b] are the L1 primary miss ratios at
+	// L2 = 256 (Figure 1-c).
+	LoadMiss, StoreMiss []float64
+	// IPC[b][l] is the absolute IPC; IPCLoss[b][l] is the loss relative
+	// to the 1-cycle point (Figure 1-d, negative percentages).
+	IPC, IPCLoss [][]float64
+}
+
+// Fig1 runs the Section-2 single-threaded latency-hiding study.
+func Fig1(b Budget) (*Fig1Result, error) {
+	benches := workload.All()
+	r := &Fig1Result{
+		Benchmarks:   workload.Names(),
+		Latencies:    PaperLatencies,
+		PerceivedFP:  grid(len(benches), len(PaperLatencies)),
+		PerceivedInt: grid(len(benches), len(PaperLatencies)),
+		LoadMiss:     make([]float64, len(benches)),
+		StoreMiss:    make([]float64, len(benches)),
+		IPC:          grid(len(benches), len(PaperLatencies)),
+		IPCLoss:      grid(len(benches), len(PaperLatencies)),
+	}
+	type job struct{ bench, lat int }
+	var jobs []job
+	for bi := range benches {
+		for li := range PaperLatencies {
+			jobs = append(jobs, job{bi, li})
+		}
+	}
+	err := parallel(len(jobs), b.parallelism(), func(i int) error {
+		j := jobs[i]
+		m := config.Section2().WithL2Latency(PaperLatencies[j.lat])
+		rep, err := b.runBench(m, benches[j.bench])
+		if err != nil {
+			return fmt.Errorf("fig1 %s L2=%d: %w", benches[j.bench].Name, PaperLatencies[j.lat], err)
+		}
+		r.PerceivedFP[j.bench][j.lat] = rep.PerceivedFP.Mean()
+		r.PerceivedInt[j.bench][j.lat] = rep.PerceivedInt.Mean()
+		r.IPC[j.bench][j.lat] = rep.IPC()
+		if PaperLatencies[j.lat] == 256 {
+			r.LoadMiss[j.bench] = rep.Mem.LoadMissRatio()
+			r.StoreMiss[j.bench] = rep.Mem.StoreMissRatio()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi := range benches {
+		base := r.IPC[bi][0]
+		for li := range PaperLatencies {
+			if base > 0 {
+				r.IPCLoss[bi][li] = (r.IPC[bi][li] - base) / base
+			}
+		}
+	}
+	return r, nil
+}
+
+func grid(rows, cols int) [][]float64 {
+	g := make([][]float64, rows)
+	for i := range g {
+		g[i] = make([]float64, cols)
+	}
+	return g
+}
+
+// TableA renders Figure 1-a (perceived FP-load miss latency).
+func (r *Fig1Result) TableA() string {
+	return r.latencyTable("Figure 1-a: average perceived FP-load miss latency (cycles)", r.PerceivedFP, f1)
+}
+
+// TableB renders Figure 1-b (perceived integer-load miss latency).
+func (r *Fig1Result) TableB() string {
+	return r.latencyTable("Figure 1-b: average perceived integer-load miss latency (cycles)", r.PerceivedInt, f1)
+}
+
+// TableC renders Figure 1-c (L1 miss ratios at L2 latency 256).
+func (r *Fig1Result) TableC() string {
+	header := []string{"benchmark", "load-miss", "store-miss"}
+	rows := make([][]string, len(r.Benchmarks))
+	for i, name := range r.Benchmarks {
+		rows[i] = []string{name, pct(r.LoadMiss[i]), pct(r.StoreMiss[i])}
+	}
+	return formatTable("Figure 1-c: L1 miss ratios (L2 latency = 256)", header, rows)
+}
+
+// TableD renders Figure 1-d (% IPC loss relative to L2 latency 1).
+func (r *Fig1Result) TableD() string {
+	return r.latencyTable("Figure 1-d: IPC loss relative to L2 latency 1", r.IPCLoss,
+		func(v float64) string { return pct(v) })
+}
+
+func (r *Fig1Result) latencyTable(title string, data [][]float64, fmtCell func(float64) string) string {
+	header := []string{"benchmark"}
+	for _, l := range r.Latencies {
+		header = append(header, fmt.Sprintf("L2=%d", l))
+	}
+	rows := make([][]string, len(r.Benchmarks))
+	for i, name := range r.Benchmarks {
+		row := []string{name}
+		for j := range r.Latencies {
+			row = append(row, fmtCell(data[i][j]))
+		}
+		rows[i] = row
+	}
+	return formatTable(title, header, rows)
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// Fig3Result reproduces the paper's Figure 3: the issue-slot breakdown of
+// the multithreaded decoupled machine (Figure-2 parameters, L2 = 16) as
+// hardware contexts are added, on the per-thread benchmark mixes.
+type Fig3Result struct {
+	// Threads is the context-count axis (the paper plots 1–6).
+	Threads []int
+	// IPC[t] is the machine throughput with Threads[t] contexts.
+	IPC []float64
+	// Slots[t][unit] is the per-unit slot accounting.
+	Slots [][isa.NumUnits]stats.UnitSlots
+}
+
+// Fig3Threads is the paper's x-axis.
+var Fig3Threads = []int{1, 2, 3, 4, 5, 6}
+
+// Fig3 runs the issue-slot breakdown sweep.
+func Fig3(b Budget) (*Fig3Result, error) {
+	r := &Fig3Result{
+		Threads: Fig3Threads,
+		IPC:     make([]float64, len(Fig3Threads)),
+		Slots:   make([][isa.NumUnits]stats.UnitSlots, len(Fig3Threads)),
+	}
+	err := parallel(len(Fig3Threads), b.parallelism(), func(i int) error {
+		rep, err := b.runMix(config.Figure2(Fig3Threads[i]))
+		if err != nil {
+			return fmt.Errorf("fig3 threads=%d: %w", Fig3Threads[i], err)
+		}
+		r.IPC[i] = rep.IPC()
+		r.Slots[i] = rep.Slots
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Table renders the breakdown in the paper's five activity categories for
+// both units, one row per thread count.
+func (r *Fig3Result) Table() string {
+	header := []string{"threads", "IPC",
+		"AP useful", "AP mem", "AP fu", "AP other", "AP idle",
+		"EP useful", "EP mem", "EP fu", "EP other", "EP idle"}
+	rows := make([][]string, len(r.Threads))
+	for i, t := range r.Threads {
+		row := []string{fmt.Sprintf("%d", t), f2(r.IPC[i])}
+		for u := 0; u < isa.NumUnits; u++ {
+			s := r.Slots[i][u]
+			row = append(row,
+				pct(s.UsefulFrac()),
+				pct(s.WastedFrac(stats.WasteMem)),
+				pct(s.WastedFrac(stats.WasteFU)),
+				pct(s.WastedFrac(stats.WasteOther)),
+				pct(s.WastedFrac(stats.WasteIdle)))
+		}
+		rows[i] = row
+	}
+	return formatTable("Figure 3: issue-slot breakdown vs hardware contexts (L2=16, decoupled)", header, rows)
+}
+
+// Speedup returns IPC(threads)/IPC(1) for the paper's headline numbers.
+func (r *Fig3Result) Speedup(threads int) float64 {
+	var base, at float64
+	for i, t := range r.Threads {
+		if t == 1 {
+			base = r.IPC[i]
+		}
+		if t == threads {
+			at = r.IPC[i]
+		}
+	}
+	if base == 0 {
+		return 0
+	}
+	return at / base
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Fig4Result reproduces the paper's Figure 4: memory-latency tolerance of
+// the eight configurations {1..4 threads} × {decoupled, non-decoupled}
+// across L2 latencies 1–256, on the per-thread benchmark mixes.
+//
+// Interpretation note (see DESIGN.md): the architectural queues, register
+// files and the lockup-free miss capacity scale proportionally with the
+// L2 latency, as in the paper's Section 2 — with the Figure-2 sizes held
+// fixed, Little's law caps memory-level parallelism at 16 outstanding
+// lines and no configuration can approach the paper's large-latency
+// points. The fixed-size variant is available as ablation A6.
+type Fig4Result struct {
+	// Latencies is the swept L2 axis.
+	Latencies []int64
+	// Configs labels the eight machine configurations.
+	Configs []Fig4Config
+	// Perceived[c][l] is the combined perceived load-miss latency
+	// (Figure 4-a).
+	Perceived [][]float64
+	// IPC[c][l] is absolute IPC (Figure 4-c); IPCLoss[c][l] is relative
+	// to the 1-cycle point (Figure 4-b).
+	IPC, IPCLoss [][]float64
+}
+
+// Fig4Config identifies one line of Figure 4.
+type Fig4Config struct {
+	Threads   int
+	Decoupled bool
+}
+
+func (c Fig4Config) String() string {
+	mode := "decoupled"
+	if !c.Decoupled {
+		mode = "non-dec"
+	}
+	return fmt.Sprintf("%dT %s", c.Threads, mode)
+}
+
+// Fig4Configs is the paper's eight configurations, non-decoupled first
+// (matching the figure legend's top-to-bottom order).
+var Fig4Configs = []Fig4Config{
+	{4, false}, {3, false}, {2, false}, {1, false},
+	{4, true}, {3, true}, {2, true}, {1, true},
+}
+
+// Fig4 runs the latency-tolerance sweep.
+func Fig4(b Budget) (*Fig4Result, error) {
+	r := &Fig4Result{
+		Latencies: PaperLatencies,
+		Configs:   Fig4Configs,
+		Perceived: grid(len(Fig4Configs), len(PaperLatencies)),
+		IPC:       grid(len(Fig4Configs), len(PaperLatencies)),
+		IPCLoss:   grid(len(Fig4Configs), len(PaperLatencies)),
+	}
+	type job struct{ cfg, lat int }
+	var jobs []job
+	for ci := range Fig4Configs {
+		for li := range PaperLatencies {
+			jobs = append(jobs, job{ci, li})
+		}
+	}
+	err := parallel(len(jobs), b.parallelism(), func(i int) error {
+		j := jobs[i]
+		cfg := Fig4Configs[j.cfg]
+		m := config.Figure2(cfg.Threads).WithL2Latency(PaperLatencies[j.lat])
+		m.ScaleWithLatency = true
+		if !cfg.Decoupled {
+			m = m.NonDecoupled()
+		}
+		rep, err := b.runMix(m)
+		if err != nil {
+			return fmt.Errorf("fig4 %v L2=%d: %w", cfg, PaperLatencies[j.lat], err)
+		}
+		r.Perceived[j.cfg][j.lat] = rep.Perceived().Mean()
+		r.IPC[j.cfg][j.lat] = rep.IPC()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci := range Fig4Configs {
+		base := r.IPC[ci][0]
+		for li := range PaperLatencies {
+			if base > 0 {
+				r.IPCLoss[ci][li] = (r.IPC[ci][li] - base) / base
+			}
+		}
+	}
+	return r, nil
+}
+
+// TableA renders Figure 4-a (perceived load-miss latency per config).
+func (r *Fig4Result) TableA() string {
+	return r.configTable("Figure 4-a: perceived load-miss latency (cycles)", r.Perceived, f1)
+}
+
+// TableB renders Figure 4-b (relative IPC loss per config).
+func (r *Fig4Result) TableB() string {
+	return r.configTable("Figure 4-b: IPC loss relative to L2 latency 1", r.IPCLoss,
+		func(v float64) string { return pct(v) })
+}
+
+// TableC renders Figure 4-c (absolute IPC per config).
+func (r *Fig4Result) TableC() string {
+	return r.configTable("Figure 4-c: IPC", r.IPC, f2)
+}
+
+func (r *Fig4Result) configTable(title string, data [][]float64, fmtCell func(float64) string) string {
+	header := []string{"config"}
+	for _, l := range r.Latencies {
+		header = append(header, fmt.Sprintf("L2=%d", l))
+	}
+	rows := make([][]string, len(r.Configs))
+	for i, cfg := range r.Configs {
+		row := []string{cfg.String()}
+		for j := range r.Latencies {
+			row = append(row, fmtCell(data[i][j]))
+		}
+		rows[i] = row
+	}
+	return formatTable(title, header, rows)
+}
+
+// At returns the value grid cell for a configuration and latency, for
+// tests and EXPERIMENTS.md extraction.
+func (r *Fig4Result) At(threads int, decoupled bool, lat int64) (perceived, ipc, loss float64, ok bool) {
+	ci := -1
+	for i, c := range r.Configs {
+		if c.Threads == threads && c.Decoupled == decoupled {
+			ci = i
+		}
+	}
+	li := -1
+	for i, l := range r.Latencies {
+		if l == lat {
+			li = i
+		}
+	}
+	if ci < 0 || li < 0 {
+		return 0, 0, 0, false
+	}
+	return r.Perceived[ci][li], r.IPC[ci][li], r.IPCLoss[ci][li], true
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Fig5Result reproduces the paper's Figure 5: hardware-context
+// requirements of the decoupled and non-decoupled machines at L2
+// latencies 16 (1–7 threads, solid lines) and 64 (1–16 threads, dotted
+// lines), plus the external-bus utilization that explains why the
+// non-decoupled machine saturates at L2 = 64 (89% at 12 threads, 98% at
+// 16 in the paper).
+type Fig5Result struct {
+	// ThreadsShort and ThreadsLong are the two x-axes.
+	ThreadsShort, ThreadsLong []int
+	// IPC16Dec/IPC16Non are the L2=16 curves over ThreadsShort.
+	IPC16Dec, IPC16Non []float64
+	// IPC64Dec/IPC64Non are the L2=64 curves over ThreadsLong.
+	IPC64Dec, IPC64Non []float64
+	// Bus64Dec/Bus64Non are the bus utilizations of the L2=64 curves.
+	Bus64Dec, Bus64Non []float64
+}
+
+// Fig5ThreadsShort and Fig5ThreadsLong are the paper's axes.
+var (
+	Fig5ThreadsShort = []int{1, 2, 3, 4, 5, 6, 7}
+	Fig5ThreadsLong  = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+)
+
+// Fig5 runs the thread-requirement sweep.
+func Fig5(b Budget) (*Fig5Result, error) {
+	r := &Fig5Result{
+		ThreadsShort: Fig5ThreadsShort,
+		ThreadsLong:  Fig5ThreadsLong,
+		IPC16Dec:     make([]float64, len(Fig5ThreadsShort)),
+		IPC16Non:     make([]float64, len(Fig5ThreadsShort)),
+		IPC64Dec:     make([]float64, len(Fig5ThreadsLong)),
+		IPC64Non:     make([]float64, len(Fig5ThreadsLong)),
+		Bus64Dec:     make([]float64, len(Fig5ThreadsLong)),
+		Bus64Non:     make([]float64, len(Fig5ThreadsLong)),
+	}
+	type job struct {
+		lat       int64
+		decoupled bool
+		idx       int // index into the axis slice
+		threads   int
+	}
+	var jobs []job
+	for i, t := range Fig5ThreadsShort {
+		jobs = append(jobs,
+			job{16, true, i, t},
+			job{16, false, i, t})
+	}
+	for i, t := range Fig5ThreadsLong {
+		jobs = append(jobs,
+			job{64, true, i, t},
+			job{64, false, i, t})
+	}
+	err := parallel(len(jobs), b.parallelism(), func(i int) error {
+		j := jobs[i]
+		m := config.Figure2(j.threads).WithL2Latency(j.lat)
+		if !j.decoupled {
+			m = m.NonDecoupled()
+		}
+		rep, err := b.runMix(m)
+		if err != nil {
+			return fmt.Errorf("fig5 threads=%d L2=%d dec=%v: %w", j.threads, j.lat, j.decoupled, err)
+		}
+		switch {
+		case j.lat == 16 && j.decoupled:
+			r.IPC16Dec[j.idx] = rep.IPC()
+		case j.lat == 16:
+			r.IPC16Non[j.idx] = rep.IPC()
+		case j.decoupled:
+			r.IPC64Dec[j.idx] = rep.IPC()
+			r.Bus64Dec[j.idx] = rep.BusUtilization
+		default:
+			r.IPC64Non[j.idx] = rep.IPC()
+			r.Bus64Non[j.idx] = rep.BusUtilization
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Table renders the four IPC series plus the L2=64 bus utilizations.
+func (r *Fig5Result) Table() string {
+	header := []string{"threads",
+		"L2=16 dec", "L2=16 non-dec",
+		"L2=64 dec", "L2=64 non-dec",
+		"bus64 dec", "bus64 non-dec"}
+	rows := make([][]string, len(r.ThreadsLong))
+	for i, t := range r.ThreadsLong {
+		row := []string{fmt.Sprintf("%d", t)}
+		if i < len(r.ThreadsShort) {
+			row = append(row, f2(r.IPC16Dec[i]), f2(r.IPC16Non[i]))
+		} else {
+			row = append(row, "-", "-")
+		}
+		row = append(row, f2(r.IPC64Dec[i]), f2(r.IPC64Non[i]),
+			pct(r.Bus64Dec[i]), pct(r.Bus64Non[i]))
+		rows[i] = row
+	}
+	return formatTable("Figure 5: IPC vs hardware contexts (decoupling reduces thread requirements)", header, rows)
+}
+
+// PeakThreads returns the smallest thread count whose IPC is within tol
+// of the series' maximum — "threads needed to reach peak".
+func PeakThreads(threads []int, ipc []float64, tol float64) int {
+	peak := 0.0
+	for _, v := range ipc {
+		if v > peak {
+			peak = v
+		}
+	}
+	for i, v := range ipc {
+		if v >= peak*(1-tol) {
+			return threads[i]
+		}
+	}
+	return threads[len(threads)-1]
+}

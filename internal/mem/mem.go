@@ -1,0 +1,319 @@
+// Package mem glues the L1 data cache, the MSHRs and the L1↔L2 bus into
+// the lockup-free memory subsystem of the paper's machine (Figure 2):
+//
+//   - L1 on-chip data cache: 64 KB direct-mapped, 32-byte lines,
+//     write-back/write-allocate, 1-cycle hit, a configurable number of
+//     ports (4 in the multithreaded machine, 2 in the Section-2 machine);
+//   - 16 MSHRs making the cache lockup-free: misses to distinct lines
+//     proceed in parallel, secondary misses merge into the pending entry;
+//   - an infinite, multibanked off-chip L2 with a fixed hit latency (the
+//     paper sweeps 1–256 cycles);
+//   - a 16-byte/cycle bus carrying miss requests, line refills and dirty
+//     write-backs.
+//
+// The subsystem is cycle-stepped: the core calls BeginCycle once per cycle
+// (which completes fills and frees MSHRs), then issues Load/StoreCommit
+// accesses, which either succeed with a data-ready cycle or report a
+// structural stall (no free port, no free MSHR) to be retried next cycle.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+)
+
+// Config parameterises the memory subsystem.
+type Config struct {
+	// L1 is the data cache geometry.
+	L1 cache.Config
+	// Ports is the number of L1 accesses accepted per cycle.
+	Ports int
+	// MSHRs is the number of miss status holding registers.
+	MSHRs int
+	// HitLatency is the L1 hit latency in cycles.
+	HitLatency int64
+	// L2Latency is the L2 access latency in cycles (the paper's swept
+	// parameter).
+	L2Latency int64
+	// BusBytesPerCycle is the L1↔L2 bus width (16 in Figure 2).
+	BusBytesPerCycle int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Ports <= 0:
+		return fmt.Errorf("mem: ports %d must be positive", c.Ports)
+	case c.MSHRs <= 0:
+		return fmt.Errorf("mem: MSHRs %d must be positive", c.MSHRs)
+	case c.HitLatency <= 0:
+		return fmt.Errorf("mem: hit latency %d must be positive", c.HitLatency)
+	case c.L2Latency <= 0:
+		return fmt.Errorf("mem: L2 latency %d must be positive", c.L2Latency)
+	case c.BusBytesPerCycle <= 0:
+		return fmt.Errorf("mem: bus width %d must be positive", c.BusBytesPerCycle)
+	}
+	return nil
+}
+
+// StallReason classifies why an access could not be accepted this cycle.
+type StallReason uint8
+
+const (
+	// StallNone: the access was accepted.
+	StallNone StallReason = iota
+	// StallPort: all L1 ports are taken this cycle.
+	StallPort
+	// StallMSHR: the access misses and no MSHR is free.
+	StallMSHR
+)
+
+func (s StallReason) String() string {
+	switch s {
+	case StallNone:
+		return "none"
+	case StallPort:
+		return "port"
+	case StallMSHR:
+		return "mshr"
+	default:
+		return fmt.Sprintf("stall(%d)", uint8(s))
+	}
+}
+
+// Result reports the outcome of a cache access.
+type Result struct {
+	// OK reports whether the access was accepted. When false, Stall gives
+	// the structural reason and the access must be retried.
+	OK bool
+	// Stall is the structural hazard that rejected the access.
+	Stall StallReason
+	// ReadyAt is the cycle the data is available (loads) or the line is
+	// written (stores). Only meaningful when OK.
+	ReadyAt int64
+	// Miss reports whether the access missed in L1.
+	Miss bool
+}
+
+// Stats aggregates memory subsystem counters. Miss counters are *primary*
+// misses (one per line fetched from L2); accesses that merge into a
+// pending MSHR are delayed hits and appear only in SecondaryMisses — the
+// accounting Figure 1-c of the paper implies (its ratios track lines
+// fetched, not stalled accesses).
+type Stats struct {
+	LoadAccesses    int64
+	LoadMisses      int64
+	StoreAccesses   int64
+	StoreMisses     int64
+	SecondaryMisses int64 // accesses merged into a pending MSHR (delayed hits)
+	Writebacks      int64 // dirty lines written back to L2
+	Fills           int64 // lines installed in L1
+	PortRejects     int64 // accesses rejected for lack of a port
+	MSHRRejects     int64 // accesses rejected for lack of an MSHR
+}
+
+// LoadMissRatio returns load misses / load accesses (0 if no loads).
+func (s Stats) LoadMissRatio() float64 {
+	if s.LoadAccesses == 0 {
+		return 0
+	}
+	return float64(s.LoadMisses) / float64(s.LoadAccesses)
+}
+
+// StoreMissRatio returns store misses / store accesses (0 if no stores).
+func (s Stats) StoreMissRatio() float64 {
+	if s.StoreAccesses == 0 {
+		return 0
+	}
+	return float64(s.StoreMisses) / float64(s.StoreAccesses)
+}
+
+type mshr struct {
+	line  uint64
+	fill  int64 // cycle the line is installed in L1
+	dirty bool  // a store merged into this miss: mark dirty at fill
+	valid bool
+}
+
+// System is the memory subsystem. Create with New; not safe for concurrent
+// use (the simulator is single-goroutine by design).
+type System struct {
+	cfg   Config
+	l1    *cache.Cache
+	bus   *bus.Bus
+	mshrs []mshr
+
+	now       int64
+	portsUsed int
+	stats     Stats
+}
+
+// New builds a memory subsystem. It returns an error for invalid
+// configurations.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:   cfg,
+		l1:    cache.New(cfg.L1),
+		bus:   bus.New(cfg.BusBytesPerCycle),
+		mshrs: make([]mshr, cfg.MSHRs),
+	}, nil
+}
+
+// Config returns the configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Bus exposes the bus for utilization reporting.
+func (s *System) Bus() *bus.Bus { return s.bus }
+
+// Cache exposes the L1 tag array (for tests and reports).
+func (s *System) Cache() *cache.Cache { return s.l1 }
+
+// Stats returns a snapshot of the counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// MSHRsInUse returns the number of occupied MSHRs.
+func (s *System) MSHRsInUse() int {
+	n := 0
+	for i := range s.mshrs {
+		if s.mshrs[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// BeginCycle advances the subsystem to the given cycle: it releases the
+// access ports and completes any refills whose data has arrived,
+// installing lines in L1 (write-backs of dirty victims reserve bus
+// bandwidth) and freeing their MSHRs.
+func (s *System) BeginCycle(now int64) {
+	s.now = now
+	s.portsUsed = 0
+	lineBytes := s.cfg.L1.LineBytes
+	for i := range s.mshrs {
+		e := &s.mshrs[i]
+		if !e.valid || e.fill > now {
+			continue
+		}
+		victim := s.l1.Fill(e.line)
+		if e.dirty {
+			s.l1.SetDirty(e.line)
+		}
+		s.stats.Fills++
+		if victim.Valid && victim.Dirty {
+			// The write-back occupies the data bus for one line transfer.
+			s.bus.Reserve(now, s.bus.TransferCycles(lineBytes))
+			s.stats.Writebacks++
+		}
+		e.valid = false
+	}
+}
+
+// findMSHR returns the pending entry for line, if any.
+func (s *System) findMSHR(line uint64) *mshr {
+	for i := range s.mshrs {
+		if s.mshrs[i].valid && s.mshrs[i].line == line {
+			return &s.mshrs[i]
+		}
+	}
+	return nil
+}
+
+// freeMSHR returns a free entry, if any.
+func (s *System) freeMSHR() *mshr {
+	for i := range s.mshrs {
+		if !s.mshrs[i].valid {
+			return &s.mshrs[i]
+		}
+	}
+	return nil
+}
+
+// access implements the shared load/store path. isStore selects
+// write-allocate dirty marking.
+func (s *System) access(addr uint64, isStore bool) Result {
+	if s.portsUsed >= s.cfg.Ports {
+		s.stats.PortRejects++
+		return Result{Stall: StallPort}
+	}
+	line := s.l1.LineAddr(addr)
+	if s.l1.Lookup(addr) {
+		s.portsUsed++
+		s.count(isStore, false)
+		if isStore {
+			s.l1.SetDirty(addr)
+		}
+		return Result{OK: true, ReadyAt: s.now + s.cfg.HitLatency}
+	}
+	// Miss. Merge into a pending MSHR if one covers the line: a delayed
+	// hit (no new L2 traffic), but the data still arrives at fill time.
+	if e := s.findMSHR(line); e != nil {
+		s.portsUsed++
+		s.count(isStore, false)
+		s.stats.SecondaryMisses++
+		if isStore {
+			e.dirty = true
+		}
+		return Result{OK: true, ReadyAt: e.fill, Miss: true}
+	}
+	e := s.freeMSHR()
+	if e == nil {
+		s.stats.MSHRRejects++
+		return Result{Stall: StallMSHR}
+	}
+	s.portsUsed++
+	s.count(isStore, true)
+	// Tag probe (hit latency), one cycle for the request on the address/
+	// command channel, the L2 access, then the line returns over the
+	// 16-byte data bus (the contended resource; requests ride a separate
+	// command channel in this split-transaction interface, so L2 accesses
+	// from different MSHRs overlap).
+	reqDone := s.now + s.cfg.HitLatency + 1
+	l2Done := reqDone + s.cfg.L2Latency
+	fill := s.bus.Reserve(l2Done, s.bus.TransferCycles(s.cfg.L1.LineBytes))
+	*e = mshr{line: line, fill: fill, dirty: isStore, valid: true}
+	return Result{OK: true, ReadyAt: fill, Miss: true}
+}
+
+func (s *System) count(isStore, miss bool) {
+	if isStore {
+		s.stats.StoreAccesses++
+		if miss {
+			s.stats.StoreMisses++
+		}
+	} else {
+		s.stats.LoadAccesses++
+		if miss {
+			s.stats.LoadMisses++
+		}
+	}
+}
+
+// Load performs a load access at the current cycle. On a hit the data is
+// ready after the hit latency; on a miss, when the line refill completes.
+func (s *System) Load(addr uint64) Result {
+	return s.access(addr, false)
+}
+
+// StoreCommit writes a graduating store into the cache (write-back,
+// write-allocate): a hit dirties the line, a miss fetches the line and
+// dirties it on arrival. ReadyAt is when the store is globally performed,
+// which holds its SAQ entry until then.
+func (s *System) StoreCommit(addr uint64) Result {
+	return s.access(addr, true)
+}
+
+// ResetStats clears counters and bus accounting (used to exclude warm-up
+// from measurements). Cache and MSHR state are preserved.
+func (s *System) ResetStats() {
+	s.stats = Stats{}
+	s.bus.Reset()
+}

@@ -1,0 +1,107 @@
+// Package queue provides the bounded FIFO ring buffer used for every
+// architectural queue in the simulator: per-thread instruction queues,
+// store address queues, fetch buffers and the memory system's request
+// queues.
+//
+// The structures the paper sizes in Figure 2 (Instruction Queue 48 entries,
+// Store Address Queue 32 entries) are hardware FIFOs with back-pressure:
+// a full queue stalls the producer stage. Ring mirrors that contract —
+// Push fails on a full queue rather than growing — so resource-induced
+// stalls in the pipeline model are explicit.
+package queue
+
+import "fmt"
+
+// Ring is a bounded FIFO queue with O(1) push, pop and random access by
+// queue position. The zero value is unusable; create one with New.
+type Ring[T any] struct {
+	buf  []T
+	head int // index of the oldest element
+	size int // number of elements
+}
+
+// New returns an empty ring with the given capacity. Capacity must be
+// positive.
+func New[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: non-positive capacity %d", capacity))
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.size }
+
+// Cap returns the queue capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Empty reports whether the queue holds no elements.
+func (r *Ring[T]) Empty() bool { return r.size == 0 }
+
+// Full reports whether the queue is at capacity.
+func (r *Ring[T]) Full() bool { return r.size == len(r.buf) }
+
+// Free returns the number of unoccupied slots.
+func (r *Ring[T]) Free() int { return len(r.buf) - r.size }
+
+// Push appends v to the tail. It reports whether the push succeeded; a
+// full queue rejects the push (modelling stage back-pressure).
+func (r *Ring[T]) Push(v T) bool {
+	if r.Full() {
+		return false
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+	return true
+}
+
+// Pop removes and returns the head element. The second result is false if
+// the queue is empty.
+func (r *Ring[T]) Pop() (T, bool) {
+	var zero T
+	if r.size == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero // release references for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v, true
+}
+
+// Peek returns the head element without removing it. The second result is
+// false if the queue is empty.
+func (r *Ring[T]) Peek() (T, bool) {
+	var zero T
+	if r.size == 0 {
+		return zero, false
+	}
+	return r.buf[r.head], true
+}
+
+// At returns the element at queue position i (0 = head). It panics if i is
+// out of range; use Len to bound iteration.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.size {
+		panic(fmt.Sprintf("queue: index %d out of range (len %d)", i, r.size))
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Set overwrites the element at queue position i (0 = head). It panics if
+// i is out of range.
+func (r *Ring[T]) Set(i int, v T) {
+	if i < 0 || i >= r.size {
+		panic(fmt.Sprintf("queue: index %d out of range (len %d)", i, r.size))
+	}
+	r.buf[(r.head+i)%len(r.buf)] = v
+}
+
+// Clear empties the queue, releasing element references.
+func (r *Ring[T]) Clear() {
+	var zero T
+	for i := 0; i < r.size; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.head, r.size = 0, 0
+}

@@ -1,0 +1,129 @@
+// Package regfile models a physical register file with an explicit free
+// list and per-register result timing, as required by the paper's renaming
+// scheme (Figure 2: 64 AP physical registers and 96 EP physical registers
+// per thread).
+//
+// The timing model never stores architectural values — only *when* each
+// physical register's value becomes available, which is all in-order issue
+// needs to decide whether an instruction's operands are ready.
+package regfile
+
+import "fmt"
+
+// PhysReg names a physical register within one file. None means "no
+// register" (absent operand or no destination).
+type PhysReg int32
+
+// None is the absent physical register.
+const None PhysReg = -1
+
+// Valid reports whether p names a register.
+func (p PhysReg) Valid() bool { return p >= 0 }
+
+// neverReady is a ready time beyond any simulated cycle, used for
+// registers whose producing instruction has not yet computed its result
+// delivery time (e.g. a load that has not been accepted by the cache).
+const neverReady = int64(1) << 62
+
+// File is a physical register file. Create with New.
+type File struct {
+	readyAt []int64
+	free    []PhysReg // stack of free registers
+	inUse   int
+}
+
+// New returns a file with n physical registers, all free. n must be
+// positive.
+func New(n int) *File {
+	if n <= 0 {
+		panic(fmt.Sprintf("regfile: size %d must be positive", n))
+	}
+	f := &File{
+		readyAt: make([]int64, n),
+		free:    make([]PhysReg, n),
+	}
+	// Pop order is ascending register number for determinism.
+	for i := 0; i < n; i++ {
+		f.free[i] = PhysReg(n - 1 - i)
+	}
+	return f
+}
+
+// Size returns the total number of physical registers.
+func (f *File) Size() int { return len(f.readyAt) }
+
+// FreeCount returns the number of free registers.
+func (f *File) FreeCount() int { return len(f.free) }
+
+// InUse returns the number of allocated registers.
+func (f *File) InUse() int { return f.inUse }
+
+// Alloc takes a register from the free list. It reports failure when the
+// file is exhausted (dispatch must stall). A fresh register is not ready
+// until the producer calls SetReadyAt.
+func (f *File) Alloc() (PhysReg, bool) {
+	if len(f.free) == 0 {
+		return None, false
+	}
+	p := f.free[len(f.free)-1]
+	f.free = f.free[:len(f.free)-1]
+	f.readyAt[p] = neverReady
+	f.inUse++
+	return p, true
+}
+
+// AllocReady allocates a register whose value is ready at the given cycle.
+// Used for the initial architectural mappings (ready since "before time").
+func (f *File) AllocReady(cycle int64) (PhysReg, bool) {
+	p, ok := f.Alloc()
+	if ok {
+		f.readyAt[p] = cycle
+	}
+	return p, ok
+}
+
+// Free returns p to the free list. Freeing None is a no-op. Double frees
+// are a programming error and panic (they would corrupt the free list and
+// silently break renaming).
+func (f *File) Free(p PhysReg) {
+	if p == None {
+		return
+	}
+	f.check(p)
+	for _, q := range f.free {
+		if q == p {
+			panic(fmt.Sprintf("regfile: double free of p%d", p))
+		}
+	}
+	f.free = append(f.free, p)
+	f.inUse--
+}
+
+// SetReadyAt records that p's value becomes available at the given cycle.
+func (f *File) SetReadyAt(p PhysReg, cycle int64) {
+	f.check(p)
+	f.readyAt[p] = cycle
+}
+
+// ReadyAt returns the cycle p's value becomes available (a very large
+// sentinel if unknown yet).
+func (f *File) ReadyAt(p PhysReg) int64 {
+	f.check(p)
+	return f.readyAt[p]
+}
+
+// Ready reports whether p's value is available at cycle now. The absent
+// register None is always ready.
+func (f *File) Ready(p PhysReg, now int64) bool {
+	if p == None {
+		return true
+	}
+	f.check(p)
+	return f.readyAt[p] <= now
+}
+
+func (f *File) check(p PhysReg) {
+	if p < 0 || int(p) >= len(f.readyAt) {
+		panic(fmt.Sprintf("regfile: physical register %d out of range [0,%d)", p, len(f.readyAt)))
+	}
+}

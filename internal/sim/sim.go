@@ -1,0 +1,101 @@
+// Package sim is the simulation front-end: it builds a machine from a
+// configuration and per-thread instruction sources, runs a warm-up window
+// (the paper skips each benchmark's start-up phase), resets the statistics,
+// runs the measurement window, and produces the final report.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// Machine is the processor configuration.
+	Machine config.Machine
+	// Sources supply one instruction stream per thread.
+	Sources []trace.Reader
+	// WarmupInsts is the number of graduated instructions to run before
+	// statistics are reset (cache warm-up / benchmark start-up skip).
+	WarmupInsts int64
+	// MeasureInsts is the number of graduated instructions in the
+	// measurement window. Zero measures until the sources drain.
+	MeasureInsts int64
+	// MaxCycles caps the total simulation length as a safety net;
+	// zero applies DefaultMaxCycles.
+	MaxCycles int64
+}
+
+// DefaultMaxCycles bounds runaway simulations (deadlock guard).
+const DefaultMaxCycles = 2_000_000_000
+
+// Result is a finished run.
+type Result struct {
+	// Report is the measurement-window statistics snapshot.
+	Report stats.Report
+	// Completed is true when the run reached its measurement target (or
+	// drained its sources); false when it hit the cycle cap.
+	Completed bool
+	// TotalCycles counts all simulated cycles including warm-up.
+	TotalCycles int64
+}
+
+// Run executes one simulation.
+func Run(opts Options) (Result, error) {
+	c, err := core.New(opts.Machine, opts.Sources)
+	if err != nil {
+		return Result{}, err
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = DefaultMaxCycles
+	}
+
+	// Warm-up window.
+	completed := true
+	for c.Collector().Graduated < opts.WarmupInsts && !c.Done() {
+		if c.Now() >= maxCycles {
+			completed = false
+			break
+		}
+		c.Tick()
+	}
+	// Reset measurement state; machine state (caches, queues, in-flight
+	// instructions) carries over, which is the point of warming up.
+	c.Collector().Reset()
+	c.Mem().ResetStats()
+
+	// Measurement window.
+	for (opts.MeasureInsts <= 0 || c.Collector().Graduated < opts.MeasureInsts) && !c.Done() {
+		if c.Now() >= maxCycles {
+			completed = false
+			break
+		}
+		c.Tick()
+	}
+
+	col := *c.Collector()
+	rep := stats.Report{
+		Collector:      col,
+		Mem:            c.Mem().Stats(),
+		BusUtilization: c.Mem().Bus().Utilization(c.Now(), col.Cycles),
+		Threads:        c.Config().Threads,
+		Decoupled:      c.Config().Decoupled,
+		L2Latency:      c.Config().Mem.L2Latency,
+	}
+	return Result{Report: rep, Completed: completed, TotalCycles: c.Now()}, nil
+}
+
+// RunOrDie is a convenience for examples and tools: it runs and panics on
+// configuration errors (which are programming errors there).
+func RunOrDie(opts Options) Result {
+	r, err := Run(opts)
+	if err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	return r
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func finiteTrace(n int) trace.Reader {
+	insts := make([]isa.Inst, 0, n)
+	for i := 0; i < n; i++ {
+		insts = append(insts, isa.Inst{
+			PC: uint64(i % 16 * 4), Op: isa.OpIntALU,
+			Dest: isa.IntReg(1 + i%8), Src1: isa.IntReg(9), Src2: isa.IntReg(10),
+		})
+	}
+	return trace.Slice(insts)
+}
+
+func TestRunDrainsFiniteTrace(t *testing.T) {
+	res, err := Run(Options{
+		Machine: config.Figure2(1),
+		Sources: []trace.Reader{finiteTrace(5000)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("finite trace did not complete")
+	}
+	if res.Report.Graduated != 5000 {
+		t.Fatalf("graduated %d, want 5000", res.Report.Graduated)
+	}
+	if res.Report.IPC() <= 0 {
+		t.Fatal("IPC not positive")
+	}
+}
+
+func TestWarmupExcludedFromStats(t *testing.T) {
+	res, err := Run(Options{
+		Machine:     config.Figure2(1),
+		Sources:     []trace.Reader{finiteTrace(5000)},
+		WarmupInsts: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Graduated != 3000 {
+		t.Fatalf("measured %d instructions, want 3000 after warmup", res.Report.Graduated)
+	}
+	// Total simulated cycles include the warm-up.
+	if res.TotalCycles <= res.Report.Cycles {
+		t.Fatal("total cycles do not include warm-up")
+	}
+}
+
+func TestMeasureWindowStopsEarly(t *testing.T) {
+	b, err := workload.ByName("tomcatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{
+		Machine:      config.Figure2(1),
+		Sources:      []trace.Reader{b.NewReader(workload.ReaderOpts{})},
+		WarmupInsts:  5_000,
+		MeasureInsts: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("bounded run on an infinite source did not complete")
+	}
+	// The measurement window stops within a cycle's graduation bandwidth
+	// of the target.
+	if res.Report.Graduated < 20_000 || res.Report.Graduated > 20_000+64 {
+		t.Fatalf("measured %d instructions", res.Report.Graduated)
+	}
+}
+
+func TestCycleCapReported(t *testing.T) {
+	b, _ := workload.ByName("swim")
+	res, err := Run(Options{
+		Machine:      config.Figure2(1),
+		Sources:      []trace.Reader{b.NewReader(workload.ReaderOpts{})},
+		MeasureInsts: 1 << 40, // unreachable
+		MaxCycles:    2_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("cycle-capped run claimed completion")
+	}
+	if res.TotalCycles > 2_001 {
+		t.Fatalf("ran %d cycles past the cap", res.TotalCycles)
+	}
+}
+
+func TestInvalidMachineRejected(t *testing.T) {
+	m := config.Figure2(1)
+	m.ROBSize = 0
+	if _, err := Run(Options{Machine: m, Sources: []trace.Reader{finiteTrace(1)}}); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+}
+
+func TestSourceCountMismatchRejected(t *testing.T) {
+	if _, err := Run(Options{
+		Machine: config.Figure2(2),
+		Sources: []trace.Reader{finiteTrace(1)},
+	}); err == nil {
+		t.Fatal("source/thread mismatch accepted")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() Result {
+		b, _ := workload.ByName("su2cor")
+		res, err := Run(Options{
+			Machine:      config.Figure2(2).WithL2Latency(64),
+			Sources:      []trace.Reader{b.NewReader(workload.ReaderOpts{}), b.NewReader(workload.ReaderOpts{AddrOffset: 1 << 36})},
+			WarmupInsts:  5_000,
+			MeasureInsts: 30_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Report.Cycles != b.Report.Cycles ||
+		a.Report.Graduated != b.Report.Graduated ||
+		a.Report.PerceivedFP != b.Report.PerceivedFP ||
+		a.Report.Mem != b.Report.Mem {
+		t.Fatal("identical runs produced different reports")
+	}
+}
+
+func TestReportIdentifiesConfiguration(t *testing.T) {
+	m := config.Figure2(2).WithL2Latency(128).NonDecoupled()
+	b, _ := workload.ByName("mgrid")
+	res, err := Run(Options{
+		Machine: m,
+		Sources: []trace.Reader{
+			b.NewReader(workload.ReaderOpts{}),
+			b.NewReader(workload.ReaderOpts{AddrOffset: 1 << 36}),
+		},
+		WarmupInsts:  2_000,
+		MeasureInsts: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if r.Threads != 2 || r.Decoupled || r.L2Latency != 128 {
+		t.Fatalf("report identity wrong: %+v", r)
+	}
+	if r.BusUtilization < 0 || r.BusUtilization > 1 {
+		t.Fatalf("bus utilization %v out of range", r.BusUtilization)
+	}
+}
+
+func TestRunOrDiePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunOrDie did not panic")
+		}
+	}()
+	m := config.Figure2(1)
+	m.IQSize = 0
+	RunOrDie(Options{Machine: m, Sources: []trace.Reader{finiteTrace(1)}})
+}
+
+func TestTraceFileRoundTripThroughSimulator(t *testing.T) {
+	// Generate a trace, encode it to the binary file format, decode it,
+	// and verify the simulator produces *identical* results from the
+	// generator and from the file — the cmd/dae-trace → cmd/dae-sim
+	// pipeline at library level.
+	b, err := workload.ByName("applu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40_000
+
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAll(trace.Limit(b.NewReader(workload.ReaderOpts{}), n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := trace.NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(src trace.Reader) Result {
+		res, err := Run(Options{
+			Machine:     config.Figure2(1),
+			Sources:     []trace.Reader{src},
+			WarmupInsts: 5_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fromFile := run(fr)
+	fromGen := run(trace.Limit(b.NewReader(workload.ReaderOpts{}), n))
+	if fromFile.Report.Cycles != fromGen.Report.Cycles ||
+		fromFile.Report.Graduated != fromGen.Report.Graduated ||
+		fromFile.Report.Mem != fromGen.Report.Mem {
+		t.Fatalf("file-driven run differs from generator-driven run:\n%v\nvs\n%v",
+			fromFile.Report, fromGen.Report)
+	}
+	// The warm-up window can overshoot by up to one cycle's graduation
+	// bandwidth before the reset, so allow a small shortfall.
+	if g := fromFile.Report.Graduated; g < n-5_000-64 || g > n-5_000 {
+		t.Fatalf("graduated %d", g)
+	}
+}

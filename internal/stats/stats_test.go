@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func TestWasteReasonStrings(t *testing.T) {
+	for r := WasteReason(0); int(r) < NumWasteReasons; r++ {
+		if strings.HasPrefix(r.String(), "waste(") {
+			t.Errorf("reason %d has no name", r)
+		}
+	}
+	if !strings.HasPrefix(WasteReason(99).String(), "waste(") {
+		t.Error("unknown reason not flagged")
+	}
+}
+
+func TestUnitSlotsFractions(t *testing.T) {
+	u := UnitSlots{Issued: 30, Total: 100}
+	u.Wasted[WasteMem] = 20
+	u.Wasted[WasteFU] = 40
+	u.Wasted[WasteIdle] = 10
+	if got := u.UsefulFrac(); got != 0.3 {
+		t.Errorf("UsefulFrac = %v", got)
+	}
+	if got := u.WastedFrac(WasteMem); got != 0.2 {
+		t.Errorf("WastedFrac(mem) = %v", got)
+	}
+	var empty UnitSlots
+	if empty.UsefulFrac() != 0 || empty.WastedFrac(WasteFU) != 0 {
+		t.Error("empty slots must report 0")
+	}
+}
+
+func TestLatencySample(t *testing.T) {
+	var s LatencySample
+	if s.Mean() != 0 {
+		t.Error("empty mean nonzero")
+	}
+	s.Add(10)
+	s.Add(0)
+	s.Add(20)
+	if s.Count != 3 || s.Sum != 30 {
+		t.Fatalf("sample = %+v", s)
+	}
+	if s.Mean() != 10 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	var o LatencySample
+	o.Add(30)
+	s.Merge(o)
+	if s.Count != 4 || s.Mean() != 15 {
+		t.Errorf("after merge: %+v", s)
+	}
+}
+
+func TestCollectorIPC(t *testing.T) {
+	var c Collector
+	if c.IPC() != 0 {
+		t.Error("empty IPC nonzero")
+	}
+	c.Cycles = 100
+	c.Graduated = 268
+	if got := c.IPC(); got != 2.68 {
+		t.Errorf("IPC = %v", got)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	var c Collector
+	c.Cycles = 5
+	c.Graduated = 10
+	c.PerceivedFP.Add(3)
+	c.Slots[0].Issued = 7
+	c.Reset()
+	if c.Cycles != 0 || c.Graduated != 0 || c.PerceivedFP.Count != 0 || c.Slots[0].Issued != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	var c Collector
+	if c.MispredictRate() != 0 {
+		t.Error("empty rate nonzero")
+	}
+	c.Branches = 200
+	c.Mispredicts = 10
+	if got := c.MispredictRate(); got != 0.05 {
+		t.Errorf("rate = %v", got)
+	}
+}
+
+func TestPerceivedCombines(t *testing.T) {
+	var c Collector
+	c.PerceivedFP.Add(10)
+	c.PerceivedInt.Add(30)
+	all := c.Perceived()
+	if all.Count != 2 || all.Mean() != 20 {
+		t.Errorf("combined = %+v", all)
+	}
+	// Must not mutate the originals.
+	if c.PerceivedFP.Count != 1 {
+		t.Error("Perceived mutated the FP sample")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{
+		Threads:   3,
+		Decoupled: true,
+		L2Latency: 16,
+		Mem:       mem.Stats{LoadAccesses: 100, LoadMisses: 25},
+	}
+	r.Cycles = 1000
+	r.Graduated = 6190
+	s := r.String()
+	for _, want := range []string{"threads=3", "decoupled", "L2=16", "IPC=6.190", "AP slots", "EP slots", "load-miss=25.00%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q in:\n%s", want, s)
+		}
+	}
+	r.Decoupled = false
+	if !strings.Contains(r.String(), "non-decoupled") {
+		t.Error("non-decoupled mode not rendered")
+	}
+}
+
+func TestInstMix(t *testing.T) {
+	var r Report
+	if m := r.InstMix(); m[isa.OpLoad] != 0 {
+		t.Error("empty mix nonzero")
+	}
+	r.Graduated = 10
+	r.GraduatedByOp[isa.OpLoad] = 3
+	r.GraduatedByOp[isa.OpFPALU] = 4
+	r.GraduatedByOp[isa.OpIntALU] = 2
+	r.GraduatedByOp[isa.OpBranch] = 1
+	m := r.InstMix()
+	if m[isa.OpLoad] != 0.3 || m[isa.OpFPALU] != 0.4 {
+		t.Errorf("mix = %v", m)
+	}
+}

@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func sampleInsts() []isa.Inst {
+	return []isa.Inst{
+		{PC: 0x1000, Op: isa.OpIntALU, Dest: isa.IntReg(1), Src1: isa.IntReg(2), Src2: isa.IntReg(3)},
+		{PC: 0x1004, Op: isa.OpLoad, Dest: isa.FPReg(0), Src1: isa.IntReg(1), Src2: isa.NoReg, Addr: 0xdeadbeef, Size: 8},
+		{PC: 0x1008, Op: isa.OpFPALU, Dest: isa.FPReg(1), Src1: isa.FPReg(0), Src2: isa.FPReg(2)},
+		{PC: 0x100c, Op: isa.OpStore, Dest: isa.NoReg, Src1: isa.FPReg(1), Src2: isa.IntReg(1), Addr: 0x8000, Size: 8},
+		{PC: 0x1010, Op: isa.OpBranch, Dest: isa.NoReg, Src1: isa.IntReg(4), Src2: isa.NoReg, Taken: true},
+		{PC: 0x1014, Op: isa.OpBranch, Dest: isa.NoReg, Src1: isa.IntReg(4), Src2: isa.NoReg, Taken: false},
+	}
+}
+
+func TestSliceReader(t *testing.T) {
+	insts := sampleInsts()
+	r := Slice(insts)
+	var got isa.Inst
+	for i := range insts {
+		if !r.Next(&got) {
+			t.Fatalf("Next returned false at %d", i)
+		}
+		if got != insts[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got, insts[i])
+		}
+	}
+	if r.Next(&got) {
+		t.Fatal("reader yielded past end")
+	}
+	if r.Next(&got) {
+		t.Fatal("exhausted reader yielded again")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	insts := sampleInsts()
+	if n := Count(Limit(Slice(insts), 3)); n != 3 {
+		t.Fatalf("Limit(3) yielded %d", n)
+	}
+	if n := Count(Limit(Slice(insts), 100)); n != int64(len(insts)) {
+		t.Fatalf("Limit(100) yielded %d", n)
+	}
+	if n := Count(Limit(Slice(insts), 0)); n != 0 {
+		t.Fatalf("Limit(0) yielded %d", n)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := sampleInsts()[:2]
+	b := sampleInsts()[2:]
+	r := Concat(Slice(a), Slice(b))
+	if n := Count(r); n != int64(len(a)+len(b)) {
+		t.Fatalf("Concat yielded %d records", n)
+	}
+	// Order must be preserved across the seam.
+	r = Concat(Slice(a), Slice(b))
+	var got isa.Inst
+	all := sampleInsts()
+	for i := range all {
+		r.Next(&got)
+		if got.PC != all[i].PC {
+			t.Fatalf("record %d: pc %#x want %#x", i, got.PC, all[i].PC)
+		}
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	if n := Count(Concat()); n != 0 {
+		t.Fatal("empty Concat yielded records")
+	}
+	if n := Count(Concat(Slice(nil), Slice(sampleInsts()))); n != int64(len(sampleInsts())) {
+		t.Fatal("Concat with empty first reader lost records")
+	}
+}
+
+func TestSkip(t *testing.T) {
+	r := Skip(Slice(sampleInsts()), 2)
+	var got isa.Inst
+	if !r.Next(&got) || got.PC != 0x1008 {
+		t.Fatalf("Skip(2) first record pc = %#x", got.PC)
+	}
+	// Skipping past the end leaves an exhausted reader.
+	r = Skip(Slice(sampleInsts()), 100)
+	if r.Next(&got) {
+		t.Fatal("Skip past end still yields")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	insts := sampleInsts()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.WriteAll(Slice(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(insts)) || w.Count() != n {
+		t.Fatalf("wrote %d records, Count=%d", n, w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	fr, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got isa.Inst
+	for i := range insts {
+		if !fr.Next(&got) {
+			t.Fatalf("decode stopped at %d: %v", i, fr.Err())
+		}
+		if got != insts[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got, insts[i])
+		}
+	}
+	if fr.Next(&got) {
+		t.Fatal("decoded past end")
+	}
+	if fr.Err() != nil {
+		t.Fatalf("clean EOF reported error: %v", fr.Err())
+	}
+	if fr.Count() != int64(len(insts)) {
+		t.Fatalf("reader Count = %d", fr.Count())
+	}
+}
+
+func TestFileBadMagic(t *testing.T) {
+	_, err := NewFileReader(bytes.NewReader([]byte("NOTATRACEFILE...")))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestFileTruncatedHeader(t *testing.T) {
+	_, err := NewFileReader(bytes.NewReader([]byte("DAE")))
+	if err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestFileBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("DAETRACE"))
+	buf.WriteByte(99) // version 99
+	_, err := NewFileReader(&buf)
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestFileTruncatedRecord(t *testing.T) {
+	insts := sampleInsts()
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if _, err := w.WriteAll(Slice(insts)); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	// Chop the last few bytes off.
+	data := buf.Bytes()
+	fr, err := NewFileReader(bytes.NewReader(data[:len(data)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got isa.Inst
+	n := 0
+	for fr.Next(&got) {
+		n++
+	}
+	if fr.Err() == nil {
+		t.Fatal("truncation not detected")
+	}
+	if n >= len(insts) {
+		t.Fatalf("decoded %d records from truncated file", n)
+	}
+}
+
+type failingWriter struct{ after int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestWriterPropagatesIOError(t *testing.T) {
+	w, err := NewWriter(&failingWriter{after: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force enough data through the bufio layer to hit the failure.
+	insts := sampleInsts()
+	var wroteErr error
+	for i := 0; i < 1<<16 && wroteErr == nil; i++ {
+		wroteErr = w.Write(&insts[i%len(insts)])
+	}
+	if wroteErr == nil {
+		wroteErr = w.Flush()
+	}
+	if wroteErr == nil {
+		t.Fatal("io error never surfaced")
+	}
+	// Writer must stay failed.
+	if err := w.Write(&insts[0]); err == nil {
+		t.Fatal("write after error succeeded")
+	}
+}
+
+// Property: any generated instruction survives an encode/decode round trip.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(pcs []uint64, opRaw []uint8) bool {
+		n := len(pcs)
+		if len(opRaw) < n {
+			n = len(opRaw)
+		}
+		insts := make([]isa.Inst, 0, n)
+		for i := 0; i < n; i++ {
+			op := isa.Op(opRaw[i] % uint8(isa.NumOps))
+			in := isa.Inst{PC: pcs[i], Op: op, Dest: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg}
+			switch op {
+			case isa.OpIntALU:
+				in.Dest = isa.IntReg(int(opRaw[i]) % 32)
+			case isa.OpFPALU:
+				in.Dest = isa.FPReg(int(opRaw[i]) % 32)
+			case isa.OpLoad:
+				in.Dest = isa.FPReg(int(opRaw[i]) % 32)
+				in.Addr = pcs[i] * 3
+				in.Size = 8
+			case isa.OpStore:
+				in.Addr = pcs[i] * 5
+				in.Size = 4
+			case isa.OpBranch:
+				in.Taken = opRaw[i]&1 == 1
+			}
+			insts = append(insts, in)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if _, err := w.WriteAll(Slice(insts)); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		fr, err := NewFileReader(&buf)
+		if err != nil {
+			return false
+		}
+		var got isa.Inst
+		for i := range insts {
+			if !fr.Next(&got) || got != insts[i] {
+				return false
+			}
+		}
+		return !fr.Next(&got) && fr.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	insts := sampleInsts()
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(&insts[i%len(insts)]); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() > 1<<24 {
+			buf.Reset()
+		}
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := []isa.Inst{{PC: 1, Op: isa.OpIntALU}, {PC: 2, Op: isa.OpIntALU}, {PC: 3, Op: isa.OpIntALU}}
+	b := []isa.Inst{{PC: 10, Op: isa.OpFPALU}}
+	r := Interleave(Slice(a), Slice(b))
+	var got []uint64
+	var in isa.Inst
+	for r.Next(&in) {
+		got = append(got, in.PC)
+	}
+	want := []uint64{1, 10, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInterleaveEmpty(t *testing.T) {
+	var in isa.Inst
+	if Interleave().Next(&in) {
+		t.Fatal("empty interleave yielded")
+	}
+	if Interleave(Slice(nil), Slice(nil)).Next(&in) {
+		t.Fatal("interleave of empty readers yielded")
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// MixOpts configures a per-thread multiprogrammed workload.
+type MixOpts struct {
+	// SegmentLen is the number of instructions taken from each benchmark
+	// before rotating to the next (the paper runs "a sequence of traces
+	// from all SpecFP95 programs, in a different order for each thread").
+	SegmentLen int64
+	// Seed perturbs each benchmark's data-dependent randomness.
+	Seed uint64
+}
+
+// DefaultSegmentLen is the segment length used when MixOpts.SegmentLen is
+// zero: long enough that steady-state behaviour dominates each segment,
+// short enough that a per-thread measurement window of a few hundred
+// thousand instructions samples most of the ten benchmarks (otherwise
+// thread-count sweeps would measure workload composition, not the
+// machine).
+const DefaultSegmentLen = 40_000
+
+// threadAddrStride separates the address spaces of different hardware
+// contexts (multiprogrammed workloads share no data).
+const threadAddrStride = uint64(1) << 36
+
+// threadIndexSkew staggers each thread's streams across L1 sets. Without
+// it, thread t's stream s would map to exactly the same sets as every
+// other thread's stream s (the address-space stride has zero index bits)
+// and resident streams would alias pathologically instead of competing
+// for capacity the way distinct programs do.
+const threadIndexSkew = uint64(0x4a60) // odd multiple of the 32-byte line
+
+// ThreadAddrOffset returns the address-space displacement for a hardware
+// context, used by every per-thread workload constructor.
+func ThreadAddrOffset(threadID int) uint64 {
+	return uint64(threadID+1)*threadAddrStride + uint64(threadID)*threadIndexSkew
+}
+
+// Mix returns thread `threadID`'s infinite instruction stream: the ten
+// benchmarks concatenated in a rotated order (thread 0 starts at
+// benchmark 0, thread 1 at benchmark 1, ...), SegmentLen instructions per
+// segment, forever.
+func Mix(threadID int, opts MixOpts) trace.Reader {
+	if threadID < 0 {
+		panic(fmt.Sprintf("workload: negative thread id %d", threadID))
+	}
+	segLen := opts.SegmentLen
+	if segLen <= 0 {
+		segLen = DefaultSegmentLen
+	}
+	benches := builtins()
+	m := &mixReader{
+		benches:  benches,
+		next:     threadID % len(benches),
+		segLen:   segLen,
+		addrOff:  ThreadAddrOffset(threadID),
+		seedBase: opts.Seed ^ (uint64(threadID)*0x9e3779b97f4a7c15 + 1),
+	}
+	return m
+}
+
+// MixSources builds one Mix reader per thread, rotated per the paper.
+func MixSources(threads int, opts MixOpts) []trace.Reader {
+	srcs := make([]trace.Reader, threads)
+	for t := 0; t < threads; t++ {
+		srcs[t] = Mix(t, opts)
+	}
+	return srcs
+}
+
+type mixReader struct {
+	benches  []Benchmark
+	next     int
+	segLen   int64
+	addrOff  uint64
+	seedBase uint64
+
+	cur       trace.Reader
+	remaining int64
+	segment   uint64 // segments completed, perturbs per-segment seeds
+}
+
+// Next implements trace.Reader; the stream never ends.
+func (m *mixReader) Next(out *isa.Inst) bool {
+	for m.cur == nil || m.remaining <= 0 {
+		b := m.benches[m.next]
+		m.next = (m.next + 1) % len(m.benches)
+		m.cur = b.NewReader(ReaderOpts{
+			AddrOffset: m.addrOff,
+			Seed:       m.seedBase + m.segment,
+		})
+		m.remaining = m.segLen
+		m.segment++
+	}
+	if !m.cur.Next(out) {
+		// Benchmark readers are infinite; treat a dry reader defensively
+		// by rotating to the next segment.
+		m.remaining = 0
+		return m.Next(out)
+	}
+	m.remaining--
+	return true
+}

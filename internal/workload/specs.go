@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The ten SPEC FP95 benchmark models. Parameters are calibrated so the
+// *cross-benchmark structure* matches the paper's Figure 1:
+//
+//   - tomcatv, swim, mgrid, applu, apsi: regular stream codes that
+//     decouple well (FP miss latency almost fully hidden);
+//   - fpppp: tiny working set (miss ratio ≈ 0) but constant
+//     loss-of-decoupling events from FP-conditional control, so its few
+//     misses are fully perceived, plus the worst integer load scheduling
+//     and the deepest (least parallel) FP chains;
+//   - turb3d: small working set, short-scheduled integer loads;
+//   - su2cor, wave5: gather-style indirect loads (high integer perceived
+//     latency) with significant miss ratios;
+//   - hydro2d: the largest miss ratio (long-stride sweeps), which makes
+//     it bandwidth- and latency-bound even though it decouples fine.
+//
+// Streams larger than the 64 KB L1 miss at ~stride/(32×reuse) per access
+// in steady state; cache-resident streams (a few KB, sized like blocked/
+// tiled working sets) hit unless a sweeping stream or another hardware
+// context evicts them. EXPERIMENTS.md records the measured per-benchmark
+// properties.
+
+const (
+	kb = 1024
+	mb = 1024 * kb
+)
+
+func builtins() []Benchmark {
+	return []Benchmark{
+		{
+			Name: "tomcatv",
+			Seed: 0x70C0A001,
+			Streams: []StreamSpec{
+				{Name: "x", SizeBytes: 4 * mb, StrideBytes: 8, Reuse: 3},
+				{Name: "y", SizeBytes: 4 * mb, StrideBytes: 8, Reuse: 2},
+				{Name: "rx", SizeBytes: 8 * kb, StrideBytes: 8},
+				{Name: "ry", SizeBytes: 6 * kb, StrideBytes: 8},
+				{Name: "d", SizeBytes: 4 * kb, StrideBytes: 8},
+			},
+			Kernels: []Kernel{
+				{
+					Name: "residual", Weight: 4000, InnerTrip: 250,
+					FPLoads: []int{0, 2, 4}, Stores: []int{1},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+					IntLoad: IntLoadSpec{Stream: 2, Every: 24, Feeds: false},
+				},
+				{
+					Name: "relax", Weight: 3000, InnerTrip: 250,
+					FPLoads: []int{1, 3, 4}, Stores: []int{0},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+				},
+			},
+		},
+		{
+			Name: "swim",
+			Seed: 0x57130002,
+			Streams: []StreamSpec{
+				{Name: "u", SizeBytes: 8 * mb, StrideBytes: 16, Reuse: 2},
+				{Name: "v", SizeBytes: 8 * mb, StrideBytes: 8},
+				{Name: "p", SizeBytes: 8 * mb, StrideBytes: 16, Reuse: 2},
+				{Name: "cu", SizeBytes: 8 * kb, StrideBytes: 8},
+				{Name: "z", SizeBytes: 4 * kb, StrideBytes: 8},
+			},
+			Kernels: []Kernel{
+				{
+					Name: "calc1", Weight: 5000, InnerTrip: 500,
+					FPLoads: []int{0, 3, 4}, Stores: []int{1},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+				},
+				{
+					Name: "calc2", Weight: 5000, InnerTrip: 500,
+					FPLoads: []int{2, 3, 4}, Stores: []int{1},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+				},
+			},
+		},
+		{
+			Name: "su2cor",
+			Seed: 0x50200003,
+			Streams: []StreamSpec{
+				{Name: "gauge", SizeBytes: 2 * mb, StrideBytes: 8, Reuse: 2},
+				{Name: "prop", SizeBytes: 8 * kb, StrideBytes: 8},
+				{Name: "index", SizeBytes: 1 * mb, StrideBytes: 8, Reuse: 8},
+				{Name: "out", SizeBytes: 6 * kb, StrideBytes: 8},
+			},
+			Kernels: []Kernel{
+				{
+					Name: "gather-su3", Weight: 6000, InnerTrip: 120,
+					FPLoads: []int{0, 1}, Stores: []int{3},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+					// Gather: the index load feeds the next FP load with
+					// almost no scheduling distance.
+					IntLoad:  IntLoadSpec{Stream: 2, Every: 2, Feeds: true, Dist: 2},
+					LODEvery: 90, LODTakenProb: 0.75,
+				},
+			},
+		},
+		{
+			Name: "hydro2d",
+			Seed: 0x44D20004,
+			Streams: []StreamSpec{
+				{Name: "ro", SizeBytes: 6 * mb, StrideBytes: 16, Reuse: 2},
+				{Name: "en", SizeBytes: 6 * mb, StrideBytes: 8, Reuse: 2},
+				{Name: "z", SizeBytes: 6 * kb, StrideBytes: 8},
+				{Name: "zn", SizeBytes: 6 * mb, StrideBytes: 8, Reuse: 2},
+			},
+			Kernels: []Kernel{
+				{
+					Name: "advect", Weight: 5000, InnerTrip: 300,
+					FPLoads: []int{0, 1, 2}, Stores: []int{3},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+					IntLoad: IntLoadSpec{Stream: 1, Every: 30, Feeds: false},
+					// CFL-style FP-conditional checks: each AP/EP resync
+					// leaves a burst of unprefetched loads whose latency
+					// is fully perceived — hydro2d's "high perceived
+					// latency × high miss ratio" degradation (Fig 1-d).
+					LODEvery: 60, LODTakenProb: 0.8,
+				},
+			},
+		},
+		{
+			Name: "mgrid",
+			Seed: 0x36B1D005,
+			Streams: []StreamSpec{
+				{Name: "u-fine", SizeBytes: 4 * mb, StrideBytes: 8, Reuse: 4},
+				{Name: "r", SizeBytes: 8 * kb, StrideBytes: 8},
+				{Name: "u-coarse", SizeBytes: 6 * kb, StrideBytes: 8},
+				{Name: "out", SizeBytes: 4 * kb, StrideBytes: 8},
+			},
+			Kernels: []Kernel{
+				{
+					Name: "resid-fine", Weight: 4000, InnerTrip: 200,
+					FPLoads: []int{0, 1, 2}, Stores: []int{3},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+				},
+				{
+					Name: "smooth-coarse", Weight: 1500, InnerTrip: 60,
+					FPLoads: []int{1, 2}, Stores: []int{3},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+				},
+			},
+		},
+		{
+			Name: "applu",
+			Seed: 0xAB1B0006,
+			Streams: []StreamSpec{
+				{Name: "rsd", SizeBytes: 3 * mb, StrideBytes: 8, Reuse: 3},
+				{Name: "u", SizeBytes: 8 * kb, StrideBytes: 8},
+				{Name: "a", SizeBytes: 6 * kb, StrideBytes: 8},
+				{Name: "out", SizeBytes: 4 * kb, StrideBytes: 8},
+			},
+			Kernels: []Kernel{
+				{
+					Name: "jacld", Weight: 4000, InnerTrip: 150,
+					FPLoads: []int{0, 1, 2}, Stores: []int{3},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+					IntLoad: IntLoadSpec{Stream: 1, Every: 20, Feeds: false},
+				},
+				{
+					Name: "blts", Weight: 3000, InnerTrip: 150,
+					FPLoads: []int{0, 2}, Stores: []int{1},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+				},
+			},
+		},
+		{
+			Name: "turb3d",
+			Seed: 0x10B3D007,
+			Streams: []StreamSpec{
+				{Name: "fft-u", SizeBytes: 10 * kb, StrideBytes: 8},
+				{Name: "fft-v", SizeBytes: 8 * kb, StrideBytes: 8},
+				{Name: "twiddle", SizeBytes: 80 * kb, StrideBytes: 8, Reuse: 2},
+				{Name: "work", SizeBytes: 4 * kb, StrideBytes: 8},
+				{Name: "bitrev", SizeBytes: 96 * kb, StrideBytes: 8, Reuse: 24},
+			},
+			Kernels: []Kernel{
+				{
+					Name: "fft-pass", Weight: 5000, InnerTrip: 64,
+					FPLoads: []int{0, 1, 2}, Stores: []int{3},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+					// Bit-reversal index loads scheduled close to their
+					// uses: they rarely miss (low Fig 1-d loss) but when
+					// they do the short distance exposes the full
+					// latency (tall Fig 1-b bar).
+					IntLoad: IntLoadSpec{Stream: 4, Every: 4, Feeds: true, Dist: 3},
+				},
+			},
+		},
+		{
+			Name: "apsi",
+			Seed: 0xA9510008,
+			Streams: []StreamSpec{
+				{Name: "t", SizeBytes: 1 * mb, StrideBytes: 8, Reuse: 3},
+				{Name: "q", SizeBytes: 8 * kb, StrideBytes: 8},
+				{Name: "w", SizeBytes: 6 * kb, StrideBytes: 8},
+				{Name: "out", SizeBytes: 6 * kb, StrideBytes: 8},
+			},
+			Kernels: []Kernel{
+				{
+					Name: "dctdx", Weight: 4000, InnerTrip: 100,
+					FPLoads: []int{0, 1, 2}, Stores: []int{3},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+					IntLoad: IntLoadSpec{Stream: 1, Every: 16, Feeds: false},
+				},
+			},
+		},
+		{
+			Name: "fpppp",
+			Seed: 0xF9990009,
+			Streams: []StreamSpec{
+				{Name: "ints", SizeBytes: 80 * kb, StrideBytes: 8, Reuse: 48},
+				{Name: "dens", SizeBytes: 72 * kb, StrideBytes: 8, Reuse: 48},
+				{Name: "fock", SizeBytes: 12 * kb, StrideBytes: 8},
+			},
+			Kernels: []Kernel{
+				{
+					Name: "twoel", Weight: 8000, InnerTrip: 40,
+					FPLoads: []int{0, 1}, Stores: []int{2},
+					// Deep dependent FP chains: fpppp's huge basic blocks
+					// expose little ILP to an in-order EP.
+					FPOps: 9, FPChains: 3, IntOps: 2,
+					// Short-scheduled integer loads and frequent
+					// FP-conditional control: the AP constantly resyncs
+					// with the EP (loss of decoupling).
+					IntLoad:  IntLoadSpec{Stream: 0, Every: 6, Feeds: true, Dist: 1},
+					LODEvery: 8, LODTakenProb: 0.7,
+				},
+			},
+		},
+		{
+			Name: "wave5",
+			Seed: 0x3A5E000A,
+			Streams: []StreamSpec{
+				{Name: "particles", SizeBytes: 3 * mb, StrideBytes: 8, Reuse: 2},
+				{Name: "field", SizeBytes: 8 * kb, StrideBytes: 8},
+				{Name: "cellidx", SizeBytes: 2 * mb, StrideBytes: 8, Reuse: 5},
+				{Name: "out", SizeBytes: 3 * mb, StrideBytes: 8},
+			},
+			Kernels: []Kernel{
+				{
+					Name: "push", Weight: 5000, InnerTrip: 180,
+					FPLoads: []int{0, 1}, Stores: []int{3},
+					FPOps: 6, FPChains: 6, IntOps: 2,
+					// Particle gather: index load feeds the field access.
+					IntLoad:  IntLoadSpec{Stream: 2, Every: 3, Feeds: true, Dist: 3},
+					LODEvery: 120, LODTakenProb: 0.8,
+				},
+			},
+		},
+	}
+}
+
+// All returns the ten built-in benchmark models, in the paper's order.
+func All() []Benchmark { return builtins() }
+
+// Names returns the benchmark names in the paper's order.
+func Names() []string {
+	bs := builtins()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// ByName returns the named benchmark model.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range builtins() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	known := Names()
+	sort.Strings(known)
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q (known: %v)", name, known)
+}
