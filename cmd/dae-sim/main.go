@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	daesim "repro"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -36,6 +37,7 @@ func main() {
 		mix          = flag.Bool("mixdetail", false, "also print the graduated instruction mix")
 		traceFiles   = flag.String("trace", "", "comma-separated trace files (one per thread; overrides -bench/mix)")
 		jsonOut      = flag.Bool("json", false, "emit the report as JSON (for scripting)")
+		cacheDir     = flag.String("cache", "", "on-disk result cache directory shared with dae-sweep (bench/mix runs only)")
 	)
 	flag.Parse()
 
@@ -59,13 +61,10 @@ func main() {
 		rep daesim.Report
 		err error
 	)
-	switch {
-	case *traceFiles != "":
+	if *traceFiles != "" {
 		rep, err = runFromFiles(m, strings.Split(*traceFiles, ","), opts)
-	case *bench == "":
-		rep, err = daesim.RunMix(m, opts)
-	default:
-		rep, err = daesim.RunBenchmark(*bench, m, opts)
+	} else {
+		rep, err = runJob(m, *bench, *cacheDir, opts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dae-sim:", err)
@@ -86,6 +85,44 @@ func main() {
 		fmt.Printf("inst mix: int=%.1f%% fp=%.1f%% load=%.1f%% store=%.1f%% branch=%.1f%%\n",
 			100*mixes[0], 100*mixes[1], 100*mixes[2], 100*mixes[3], 100*mixes[4])
 	}
+}
+
+// runJob executes a synthetic-workload run through the batch runner, so
+// a single point computed here lands in (and is served from) the same
+// result cache dae-sweep uses.
+func runJob(m daesim.Machine, bench, cacheDir string, opts daesim.RunOpts) (daesim.Report, error) {
+	// Preserve the daesim.RunOpts convention: explicit zero budgets
+	// select the documented defaults.
+	if opts.WarmupInsts <= 0 {
+		opts.WarmupInsts = daesim.DefaultWarmup
+	}
+	if opts.MeasureInsts <= 0 {
+		opts.MeasureInsts = daesim.DefaultMeasure
+	}
+	w := runner.MixWorkload(opts.Seed, opts.SegmentLen)
+	key := fmt.Sprintf("dae-sim mix threads=%d L2=%d", m.Threads, m.Mem.L2Latency)
+	if bench != "" {
+		w = runner.BenchWorkload(bench, opts.Seed)
+		key = fmt.Sprintf("dae-sim %s threads=%d L2=%d", bench, m.Threads, m.Mem.L2Latency)
+	}
+	r, err := runner.New(runner.Options{Workers: 1, CacheDir: cacheDir})
+	if err != nil {
+		return daesim.Report{}, err
+	}
+	results, err := r.Run([]runner.Job{{
+		Key:      key,
+		Machine:  m,
+		Workload: w,
+		Budget: runner.Budget{
+			WarmupInsts:  opts.WarmupInsts,
+			MeasureInsts: opts.MeasureInsts,
+			MaxCycles:    opts.MaxCycles,
+		},
+	}})
+	if err != nil {
+		return daesim.Report{}, err
+	}
+	return results[0].Report, nil
 }
 
 // runFromFiles drives the machine with pre-recorded trace files (one per

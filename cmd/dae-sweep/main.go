@@ -1,5 +1,7 @@
 // Command dae-sweep regenerates the paper's figures and the repository's
-// ablation studies as text tables.
+// ablation studies as text tables, executing every sweep through the
+// batch runner so figures that share simulation points compute them
+// once.
 //
 // Usage:
 //
@@ -8,8 +10,10 @@
 //	dae-sweep -fig 3                   # Figure 3 issue-slot breakdown
 //	dae-sweep -fig 4a|4b|4c            # Figure 4 latency tolerance
 //	dae-sweep -fig 5                   # Figure 5 thread requirements
-//	dae-sweep -fig a1..a6              # ablations
+//	dae-sweep -fig a1..a7              # ablations
 //	dae-sweep -fig 1d -measure 2000000 # bigger budget per thread
+//	dae-sweep -fig all -cache .sweeps  # persist results; re-runs and
+//	                                   # crashed sweeps resume from disk
 package main
 
 import (
@@ -21,18 +25,45 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options is the parsed command line.
+type options struct {
+	fig      string
+	budget   experiments.Budget
+	csvDir   string
+	cacheDir string
+	progress bool
+}
+
+// parseArgs parses the command line into options. Errors are already
+// reported on stderr when it returns one (flag.Parse prints its own).
+func parseArgs(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("dae-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig     = flag.String("fig", "all", "which figure/ablation to regenerate (1a,1b,1c,1d,3,4a,4b,4c,5,a1..a7,all)")
-		warmup  = flag.Int64("warmup", 0, "warm-up instructions per thread (0 = default)")
-		measure = flag.Int64("measure", 0, "measured instructions per thread (0 = default)")
-		seed    = flag.Uint64("seed", 0, "workload seed")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
-		csvDir  = flag.String("csv", "", "also write raw results as CSV files into this directory")
+		fig      = fs.String("fig", "all", "which figure/ablation to regenerate (1a,1b,1c,1d,3,4a,4b,4c,5,a1..a7,all)")
+		warmup   = fs.Int64("warmup", 0, "warm-up instructions per thread (0 = default)")
+		measure  = fs.Int64("measure", 0, "measured instructions per thread (0 = default)")
+		seed     = fs.Uint64("seed", 0, "workload seed")
+		workers  = fs.Int("workers", 0, "parallel simulations (0 = all cores)")
+		csvDir   = fs.String("csv", "", "also write raw results as CSV files into this directory")
+		cacheDir = fs.String("cache", "", "on-disk result cache directory: re-runs skip already-computed points and interrupted sweeps resume")
+		progress = fs.Bool("progress", false, "report per-point progress on stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		err := fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+		fmt.Fprintln(stderr, "dae-sweep:", err)
+		return options{}, err
+	}
 
 	budget := experiments.DefaultBudget()
 	if *warmup > 0 {
@@ -44,16 +75,64 @@ func main() {
 	budget.Seed = *seed
 	budget.Parallelism = *workers
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "dae-sweep:", err)
-			os.Exit(1)
+	return options{
+		fig:      strings.ToLower(*fig),
+		budget:   budget,
+		csvDir:   *csvDir,
+		cacheDir: *cacheDir,
+		progress: *progress,
+	}, nil
+}
+
+// run is main's testable body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	opts, err := parseArgs(args, stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if opts.csvDir != "" {
+		if err := os.MkdirAll(opts.csvDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "dae-sweep:", err)
+			return 1
 		}
 	}
-	if err := run(strings.ToLower(*fig), budget, *csvDir); err != nil {
-		fmt.Fprintln(os.Stderr, "dae-sweep:", err)
-		os.Exit(1)
+
+	// One runner serves every figure of the invocation, so points shared
+	// between sweeps (fig3's thread axis inside fig5's L2=16 curve)
+	// simulate once; a cache directory extends that reuse across
+	// invocations.
+	ropts := runner.Options{Workers: opts.budget.Parallelism, CacheDir: opts.cacheDir}
+	if opts.progress {
+		ropts.OnProgress = func(p runner.Progress) {
+			switch {
+			case p.Err != nil:
+				fmt.Fprintf(stderr, "[%d/%d] FAIL %s: %v\n", p.Done, p.Total, p.Job.Key, p.Err)
+			case p.Cached:
+				fmt.Fprintf(stderr, "[%d/%d] cached %s\n", p.Done, p.Total, p.Job.Key)
+			default:
+				fmt.Fprintf(stderr, "[%d/%d] done %s\n", p.Done, p.Total, p.Job.Key)
+			}
+		}
 	}
+	r, err := runner.New(ropts)
+	if err != nil {
+		fmt.Fprintln(stderr, "dae-sweep:", err)
+		return 1
+	}
+	opts.budget.Runner = r
+
+	if err := sweep(opts.fig, opts.budget, opts.csvDir, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "dae-sweep:", err)
+		return 1
+	}
+	if opts.progress {
+		s := r.Stats()
+		fmt.Fprintf(stderr, "sweep: %d simulated, %d cache hits\n", s.Simulated, s.CacheHits)
+	}
+	return 0
 }
 
 // csvWriter is implemented by every experiment result.
@@ -62,7 +141,7 @@ type csvWriter interface {
 }
 
 // saveCSV writes one result's raw data when a CSV directory is set.
-func saveCSV(dir, name string, r csvWriter) error {
+func saveCSV(dir, name string, r csvWriter, stderr io.Writer) error {
 	if dir == "" {
 		return nil
 	}
@@ -74,11 +153,11 @@ func saveCSV(dir, name string, r csvWriter) error {
 	if err := r.WriteCSV(f); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(dir, name))
+	fmt.Fprintf(stderr, "wrote %s\n", filepath.Join(dir, name))
 	return nil
 }
 
-func run(fig string, budget experiments.Budget, csvDir string) error {
+func sweep(fig string, budget experiments.Budget, csvDir string, stdout, stderr io.Writer) error {
 	want := func(keys ...string) bool {
 		if fig == "all" {
 			return true
@@ -96,20 +175,20 @@ func run(fig string, budget experiments.Budget, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		if err := saveCSV(csvDir, "fig1.csv", r); err != nil {
+		if err := saveCSV(csvDir, "fig1.csv", r, stderr); err != nil {
 			return err
 		}
 		if want("1a", "1") {
-			fmt.Println(r.TableA())
+			fmt.Fprintln(stdout, r.TableA())
 		}
 		if want("1b", "1") {
-			fmt.Println(r.TableB())
+			fmt.Fprintln(stdout, r.TableB())
 		}
 		if want("1c", "1") {
-			fmt.Println(r.TableC())
+			fmt.Fprintln(stdout, r.TableC())
 		}
 		if want("1d", "1") {
-			fmt.Println(r.TableD())
+			fmt.Fprintln(stdout, r.TableD())
 		}
 	}
 	if want("3") {
@@ -117,28 +196,28 @@ func run(fig string, budget experiments.Budget, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		if err := saveCSV(csvDir, "fig3.csv", r); err != nil {
+		if err := saveCSV(csvDir, "fig3.csv", r, stderr); err != nil {
 			return err
 		}
-		fmt.Println(r.Table())
-		fmt.Printf("speedup 1→3 threads: %.2fx (paper: 2.31x)\n\n", r.Speedup(3))
+		fmt.Fprintln(stdout, r.Table())
+		fmt.Fprintf(stdout, "speedup 1→3 threads: %.2fx (paper: 2.31x)\n\n", r.Speedup(3))
 	}
 	if want("4a", "4b", "4c", "4") {
 		r, err := experiments.Fig4(budget)
 		if err != nil {
 			return err
 		}
-		if err := saveCSV(csvDir, "fig4.csv", r); err != nil {
+		if err := saveCSV(csvDir, "fig4.csv", r, stderr); err != nil {
 			return err
 		}
 		if want("4a", "4") {
-			fmt.Println(r.TableA())
+			fmt.Fprintln(stdout, r.TableA())
 		}
 		if want("4b", "4") {
-			fmt.Println(r.TableB())
+			fmt.Fprintln(stdout, r.TableB())
 		}
 		if want("4c", "4") {
-			fmt.Println(r.TableC())
+			fmt.Fprintln(stdout, r.TableC())
 		}
 	}
 	if want("5") {
@@ -146,10 +225,10 @@ func run(fig string, budget experiments.Budget, csvDir string) error {
 		if err != nil {
 			return err
 		}
-		if err := saveCSV(csvDir, "fig5.csv", r); err != nil {
+		if err := saveCSV(csvDir, "fig5.csv", r, stderr); err != nil {
 			return err
 		}
-		fmt.Println(r.Table())
+		fmt.Fprintln(stdout, r.Table())
 	}
 
 	ablations := []struct {
@@ -171,10 +250,10 @@ func run(fig string, budget experiments.Budget, csvDir string) error {
 			if err != nil {
 				return err
 			}
-			if err := saveCSV(csvDir, a.key+".csv", r); err != nil {
+			if err := saveCSV(csvDir, a.key+".csv", r, stderr); err != nil {
 				return err
 			}
-			fmt.Println(r.Table())
+			fmt.Fprintln(stdout, r.Table())
 			ranAny = true
 		}
 	}

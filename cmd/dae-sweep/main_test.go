@@ -1,0 +1,167 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	opts, err := parseArgs(nil, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.fig != "all" {
+		t.Errorf("default fig = %q, want all", opts.fig)
+	}
+	def := opts.budget
+	if def.WarmupPerThread != 150_000 || def.MeasurePerThread != 500_000 {
+		t.Errorf("default budget = %d/%d", def.WarmupPerThread, def.MeasurePerThread)
+	}
+	if opts.cacheDir != "" || opts.csvDir != "" || opts.progress {
+		t.Error("cache/csv/progress should default off")
+	}
+}
+
+func TestParseArgsOverrides(t *testing.T) {
+	opts, err := parseArgs([]string{
+		"-fig", "4B", "-warmup", "123", "-measure", "456", "-seed", "9",
+		"-workers", "3", "-csv", "out", "-cache", "cachedir", "-progress",
+	}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.fig != "4b" {
+		t.Errorf("fig not lower-cased: %q", opts.fig)
+	}
+	b := opts.budget
+	if b.WarmupPerThread != 123 || b.MeasurePerThread != 456 || b.Seed != 9 || b.Parallelism != 3 {
+		t.Errorf("budget = %+v", b)
+	}
+	if opts.csvDir != "out" || opts.cacheDir != "cachedir" || !opts.progress {
+		t.Errorf("opts = %+v", opts)
+	}
+}
+
+func TestParseArgsRejectsGarbage(t *testing.T) {
+	var stderr strings.Builder
+	if _, err := parseArgs([]string{"-no-such-flag"}, &stderr); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if _, err := parseArgs([]string{"positional"}, &stderr); err == nil {
+		t.Error("positional argument accepted")
+	}
+}
+
+func TestFlagErrorsPrintedOnce(t *testing.T) {
+	for _, args := range [][]string{{"-no-such-flag"}, {"positional"}} {
+		var stdout, stderr strings.Builder
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("%v: exit code %d, want 2", args, code)
+		}
+		out := stderr.String()
+		for _, msg := range []string{"not defined", "unexpected arguments"} {
+			if n := strings.Count(out, msg); n > 1 {
+				t.Errorf("%v: error %q printed %d times:\n%s", args, msg, n, out)
+			}
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-fig", "9z"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown figure "9z"`) {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unexpected stdout: %q", stdout.String())
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h exit code %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "-fig") {
+		t.Error("usage text missing flag documentation")
+	}
+}
+
+// tinyArgs keeps test sweeps to a few thousand instructions per run.
+func tinyArgs(extra ...string) []string {
+	return append([]string{"-warmup", "1000", "-measure", "4000"}, extra...)
+}
+
+func TestRunAblationOutputShape(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(tinyArgs("-fig", "a4"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Ablation A4", "config", "IPC", "bypass only (paper)", "forwarding"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCachedRerunIsBitIdentical(t *testing.T) {
+	cache := t.TempDir()
+	csvDir := t.TempDir()
+	args := tinyArgs("-fig", "a2", "-cache", cache, "-csv", csvDir, "-progress")
+
+	var out1, err1 strings.Builder
+	if code := run(args, &out1, &err1); code != 0 {
+		t.Fatalf("first run failed: %s", err1.String())
+	}
+	csv1, err := os.ReadFile(filepath.Join(csvDir, "a2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 { // ICOUNT and round-robin points
+		t.Fatalf("%d cache entries after A2, want 2", len(entries))
+	}
+	if !strings.Contains(err1.String(), "2 simulated, 0 cache hits") {
+		t.Errorf("first-run progress summary: %q", err1.String())
+	}
+
+	var out2, err2 strings.Builder
+	if code := run(args, &out2, &err2); code != 0 {
+		t.Fatalf("second run failed: %s", err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("cached re-run changed stdout:\n--- first\n%s--- second\n%s", out1.String(), out2.String())
+	}
+	csv2, err := os.ReadFile(filepath.Join(csvDir, "a2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(csv1) != string(csv2) {
+		t.Error("cached re-run changed the CSV output")
+	}
+	if !strings.Contains(err2.String(), "0 simulated, 2 cache hits") {
+		t.Errorf("re-run progress summary: %q", err2.String())
+	}
+}
+
+func TestRunFigure3Table(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(tinyArgs("-fig", "3", "-workers", "2"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Figure 3", "threads", "speedup 1→3 threads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/branch"
 	"repro/internal/config"
+	"repro/internal/runner"
 )
 
 // This file implements the ablation studies DESIGN.md calls out (A1–A6):
@@ -40,21 +41,21 @@ func (r *AblationResult) Table() string {
 // runAblation executes one machine per label.
 func runAblation(b Budget, title string, labels []string, machines []config.Machine) (*AblationResult, error) {
 	r := &AblationResult{Title: title, Rows: make([]AblationRow, len(machines))}
-	err := parallel(len(machines), b.parallelism(), func(i int) error {
-		rep, err := b.runMix(machines[i])
-		if err != nil {
-			return fmt.Errorf("%s [%s]: %w", title, labels[i], err)
-		}
+	jobs := make([]runner.Job, len(machines))
+	for i, m := range machines {
+		jobs[i] = b.mixJob(fmt.Sprintf("%s [%s]", title, labels[i]), m)
+	}
+	reps, err := b.sweep(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, rep := range reps {
 		r.Rows[i] = AblationRow{
 			Label:     labels[i],
 			IPC:       rep.IPC(),
 			BusUtil:   rep.BusUtilization,
 			Perceived: rep.Perceived().Mean(),
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	return r, nil
 }

@@ -17,10 +17,7 @@ func parseCSV(t *testing.T, s string) [][]string {
 }
 
 func TestFig1CSV(t *testing.T) {
-	if testing.Short() {
-		t.Skip("sweep")
-	}
-	r, err := Fig1(QuickBudget())
+	r, err := Fig1(testBudget())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,10 +43,7 @@ func TestFig1CSV(t *testing.T) {
 }
 
 func TestFig3CSV(t *testing.T) {
-	if testing.Short() {
-		t.Skip("sweep")
-	}
-	r, err := Fig3(QuickBudget())
+	r, err := Fig3(testBudget())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,10 +69,7 @@ func TestFig3CSV(t *testing.T) {
 }
 
 func TestFig4And5CSV(t *testing.T) {
-	if testing.Short() {
-		t.Skip("sweep")
-	}
-	r4, err := Fig4(QuickBudget())
+	r4, err := Fig4(testBudget())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +82,7 @@ func TestFig4And5CSV(t *testing.T) {
 		t.Fatalf("fig4: %d rows", len(rows))
 	}
 
-	r5, err := Fig5(QuickBudget())
+	r5, err := Fig5(testBudget())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,10 +107,7 @@ func TestFig4And5CSV(t *testing.T) {
 }
 
 func TestAblationCSV(t *testing.T) {
-	if testing.Short() {
-		t.Skip("sweep")
-	}
-	r, err := AblationFetchPolicy(QuickBudget())
+	r, err := AblationFetchPolicy(testBudget())
 	if err != nil {
 		t.Fatal(err)
 	}

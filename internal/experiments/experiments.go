@@ -3,26 +3,28 @@
 // the parameter table, reproduced by config.Figure2) plus the ablation
 // studies DESIGN.md calls out.
 //
-// Each experiment is a deterministic sweep of independent simulation runs;
-// the runs execute concurrently on the host's cores, but every run is
-// itself single-threaded and seeded, so results are bit-reproducible.
-// Formatting helpers print the same rows/series the paper plots.
+// Each experiment is a deterministic sweep of independent simulation
+// runs, described as runner.Jobs and executed by the internal/runner
+// batch engine: the runs execute concurrently on the host's cores, every
+// run is itself single-threaded and seeded (so results are
+// bit-reproducible), and points shared between figures — or re-run after
+// a crash, with an on-disk cache — are simulated once and served from
+// the result cache afterwards. Formatting helpers print the same
+// rows/series the paper plots.
 package experiments
 
 import (
 	"fmt"
 	"runtime"
 	"strings"
-	"sync"
 
 	"repro/internal/config"
-	"repro/internal/sim"
+	"repro/internal/runner"
 	"repro/internal/stats"
-	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
-// Budget controls the instruction budgets of every run in a sweep.
+// Budget controls the instruction budgets of every run in a sweep and
+// how the sweep executes.
 type Budget struct {
 	// WarmupPerThread and MeasurePerThread are per-hardware-context
 	// instruction counts: a run with T threads warms up T×WarmupPerThread
@@ -33,8 +35,15 @@ type Budget struct {
 	SegmentLen int64
 	// Seed perturbs the workloads.
 	Seed uint64
-	// Parallelism bounds concurrent runs (0 = GOMAXPROCS).
+	// Parallelism bounds concurrent runs (0 = GOMAXPROCS). Ignored when
+	// Runner is set (the runner's own worker count governs).
 	Parallelism int
+	// Runner executes the sweep's jobs. Sharing one runner across
+	// figures lets them reuse each other's points (fig3 and fig5 sweep
+	// the same L2=16 thread axis) and, with a cache directory, resume
+	// interrupted sweeps. When nil, each sweep uses a private in-memory
+	// runner.
+	Runner *runner.Runner
 }
 
 // DefaultBudget is sized for figure-quality sweeps: large enough for
@@ -48,6 +57,13 @@ func QuickBudget() Budget {
 	return Budget{WarmupPerThread: 20_000, MeasurePerThread: 60_000}
 }
 
+// ShortBudget is sized for CI (`go test -short`): every sweep still
+// exercises its full grid, but with budgets too small for the paper's
+// quantitative invariants — tests assert only structure in short mode.
+func ShortBudget() Budget {
+	return Budget{WarmupPerThread: 2_000, MeasurePerThread: 8_000}
+}
+
 func (b Budget) parallelism() int {
 	if b.Parallelism > 0 {
 		return b.Parallelism
@@ -55,82 +71,54 @@ func (b Budget) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// run executes one simulation with budgets scaled by the thread count.
-func (b Budget) run(m config.Machine, sources []trace.Reader) (stats.Report, error) {
-	t := int64(m.Threads)
-	res, err := sim.Run(sim.Options{
-		Machine:      m,
-		Sources:      sources,
+// totals converts the per-thread budget into a job's machine-wide
+// instruction totals.
+func (b Budget) totals(threads int) runner.Budget {
+	t := int64(threads)
+	return runner.Budget{
 		WarmupInsts:  b.WarmupPerThread * t,
 		MeasureInsts: b.MeasurePerThread * t,
-	})
+	}
+}
+
+// mixJob describes one simulation of the paper's per-thread benchmark
+// mixes on machine m.
+func (b Budget) mixJob(key string, m config.Machine) runner.Job {
+	return runner.Job{
+		Key:      key,
+		Machine:  m,
+		Workload: runner.MixWorkload(b.Seed, b.SegmentLen),
+		Budget:   b.totals(m.Threads),
+	}
+}
+
+// benchJob describes one simulation of a single named benchmark.
+func (b Budget) benchJob(key string, m config.Machine, bench string) runner.Job {
+	return runner.Job{
+		Key:      key,
+		Machine:  m,
+		Workload: runner.BenchWorkload(bench, b.Seed),
+		Budget:   b.totals(m.Threads),
+	}
+}
+
+// sweep executes a figure's jobs on the budget's runner (or a private
+// one) and returns the reports in job order. Every job runs even when
+// some fail; the returned error aggregates all failures.
+func (b Budget) sweep(jobs []runner.Job) ([]stats.Report, error) {
+	r := b.Runner
+	if r == nil {
+		var err error
+		r, err = runner.New(runner.Options{Workers: b.parallelism()})
+		if err != nil {
+			return nil, err
+		}
+	}
+	results, err := r.Run(jobs)
 	if err != nil {
-		return stats.Report{}, err
+		return nil, err
 	}
-	if !res.Completed {
-		return res.Report, fmt.Errorf("experiments: run (threads=%d, L2=%d) hit the cycle cap",
-			m.Threads, m.Mem.L2Latency)
-	}
-	return res.Report, nil
-}
-
-// runMix executes one simulation on the paper's per-thread benchmark
-// mixes.
-func (b Budget) runMix(m config.Machine) (stats.Report, error) {
-	return b.run(m, workload.MixSources(m.Threads, workload.MixOpts{
-		SegmentLen: b.SegmentLen,
-		Seed:       b.Seed,
-	}))
-}
-
-// runBench executes one simulation of a single named benchmark.
-func (b Budget) runBench(m config.Machine, bench workload.Benchmark) (stats.Report, error) {
-	sources := make([]trace.Reader, m.Threads)
-	for t := 0; t < m.Threads; t++ {
-		sources[t] = bench.NewReader(workload.ReaderOpts{
-			AddrOffset: workload.ThreadAddrOffset(t),
-			Seed:       b.Seed + uint64(t),
-		})
-	}
-	return b.run(m, sources)
-}
-
-// parallel executes n jobs concurrently, preserving index order of
-// results. The first error aborts the batch result.
-func parallel(n, workers int, job func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg   sync.WaitGroup
-		next = make(chan int)
-		mu   sync.Mutex
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if e := job(i); e != nil {
-					mu.Lock()
-					if err == nil {
-						err = e
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return err
+	return runner.Reports(results), nil
 }
 
 // PaperLatencies is the L2 sweep of Figures 1 and 4.

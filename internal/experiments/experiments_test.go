@@ -1,21 +1,51 @@
 package experiments
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/config"
+	"repro/internal/runner"
 )
 
-// The experiment tests run with QuickBudget (tens of thousands of
-// instructions per run) — enough to exercise every code path and the
+// The experiment tests normally run with QuickBudget (tens of thousands
+// of instructions per run) — enough to exercise every code path and the
 // robust qualitative invariants, far too little for figure-quality
-// numbers. The headline reproduction numbers live in EXPERIMENTS.md and
-// the root-level benchmarks.
+// numbers. With -short they drop to ShortBudget: every sweep still runs
+// its full grid through the runner, but only the structural assertions
+// apply (the qualitative ones need QuickBudget's steadier numbers). The
+// headline reproduction numbers live in EXPERIMENTS.md and the
+// root-level benchmarks.
+//
+// All tests share one runner, so sweeps that revisit a point another
+// test already simulated (the CSV tests re-run whole figures) are served
+// from the result cache.
+var sweepRunner = func() *runner.Runner {
+	r, err := runner.New(runner.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}()
+
+// testBudget returns the sweep budget for the current test mode, wired
+// to the shared runner.
+func testBudget() Budget {
+	b := QuickBudget()
+	if testing.Short() {
+		b = ShortBudget()
+	}
+	b.Runner = sweepRunner
+	return b
+}
+
+// quant reports whether the paper's quantitative invariants should be
+// asserted (they need at least QuickBudget).
+func quant() bool { return !testing.Short() }
 
 func TestFig1Structure(t *testing.T) {
-	if testing.Short() {
-		t.Skip("sweep")
-	}
-	r, err := Fig1(QuickBudget())
+	r, err := Fig1(testBudget())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,40 +61,49 @@ func TestFig1Structure(t *testing.T) {
 		t.Fatalf("benchmark %s missing", name)
 		return -1
 	}
-	last := len(r.Latencies) - 1
-	// fpppp has the worst perceived FP latency at 256 (Fig 1-a).
-	fp := idx("fpppp")
-	for _, name := range []string{"tomcatv", "swim", "mgrid", "applu", "apsi"} {
-		if r.PerceivedFP[fp][last] <= r.PerceivedFP[idx(name)][last] {
-			t.Errorf("fpppp perceived FP (%.1f) not above %s (%.1f)",
-				r.PerceivedFP[fp][last], name, r.PerceivedFP[idx(name)][last])
+	for bi := range r.Benchmarks {
+		for li := range r.Latencies {
+			if r.IPC[bi][li] <= 0 {
+				t.Errorf("%s L2=%d: non-positive IPC", r.Benchmarks[bi], r.Latencies[li])
+			}
 		}
 	}
-	// The gather codes dominate perceived integer latency (Fig 1-b).
-	for _, gather := range []string{"su2cor", "wave5", "turb3d", "fpppp"} {
-		if r.PerceivedInt[idx(gather)][last] < 10 {
-			t.Errorf("%s perceived int latency %.1f too small at 256", gather, r.PerceivedInt[idx(gather)][last])
+	if quant() {
+		last := len(r.Latencies) - 1
+		// fpppp has the worst perceived FP latency at 256 (Fig 1-a).
+		fp := idx("fpppp")
+		for _, name := range []string{"tomcatv", "swim", "mgrid", "applu", "apsi"} {
+			if r.PerceivedFP[fp][last] <= r.PerceivedFP[idx(name)][last] {
+				t.Errorf("fpppp perceived FP (%.1f) not above %s (%.1f)",
+					r.PerceivedFP[fp][last], name, r.PerceivedFP[idx(name)][last])
+			}
 		}
-	}
-	for _, regular := range []string{"tomcatv", "swim", "mgrid"} {
-		if r.PerceivedInt[idx(regular)][last] > 10 {
-			t.Errorf("%s perceived int latency %.1f unexpectedly high", regular, r.PerceivedInt[idx(regular)][last])
+		// The gather codes dominate perceived integer latency (Fig 1-b).
+		for _, gather := range []string{"su2cor", "wave5", "turb3d", "fpppp"} {
+			if r.PerceivedInt[idx(gather)][last] < 10 {
+				t.Errorf("%s perceived int latency %.1f too small at 256", gather, r.PerceivedInt[idx(gather)][last])
+			}
 		}
-	}
-	// fpppp has a near-zero miss ratio; hydro2d/swim are tall (Fig 1-c).
-	if r.LoadMiss[idx("fpppp")] > 0.03 {
-		t.Errorf("fpppp load miss %.3f too high", r.LoadMiss[idx("fpppp")])
-	}
-	if r.LoadMiss[idx("hydro2d")] < 2*r.LoadMiss[idx("mgrid")] {
-		t.Errorf("hydro2d (%.3f) not well above mgrid (%.3f)",
-			r.LoadMiss[idx("hydro2d")], r.LoadMiss[idx("mgrid")])
-	}
-	// The degraded trio loses the most IPC at 256 (Fig 1-d).
-	for _, bad := range []string{"su2cor", "hydro2d", "wave5"} {
-		for _, good := range []string{"mgrid", "applu", "turb3d"} {
-			if r.IPCLoss[idx(bad)][last] > r.IPCLoss[idx(good)][last] {
-				t.Errorf("%s (%.2f) does not degrade more than %s (%.2f)",
-					bad, r.IPCLoss[idx(bad)][last], good, r.IPCLoss[idx(good)][last])
+		for _, regular := range []string{"tomcatv", "swim", "mgrid"} {
+			if r.PerceivedInt[idx(regular)][last] > 10 {
+				t.Errorf("%s perceived int latency %.1f unexpectedly high", regular, r.PerceivedInt[idx(regular)][last])
+			}
+		}
+		// fpppp has a near-zero miss ratio; hydro2d/swim are tall (Fig 1-c).
+		if r.LoadMiss[idx("fpppp")] > 0.03 {
+			t.Errorf("fpppp load miss %.3f too high", r.LoadMiss[idx("fpppp")])
+		}
+		if r.LoadMiss[idx("hydro2d")] < 2*r.LoadMiss[idx("mgrid")] {
+			t.Errorf("hydro2d (%.3f) not well above mgrid (%.3f)",
+				r.LoadMiss[idx("hydro2d")], r.LoadMiss[idx("mgrid")])
+		}
+		// The degraded trio loses the most IPC at 256 (Fig 1-d).
+		for _, bad := range []string{"su2cor", "hydro2d", "wave5"} {
+			for _, good := range []string{"mgrid", "applu", "turb3d"} {
+				if r.IPCLoss[idx(bad)][last] > r.IPCLoss[idx(good)][last] {
+					t.Errorf("%s (%.2f) does not degrade more than %s (%.2f)",
+						bad, r.IPCLoss[idx(bad)][last], good, r.IPCLoss[idx(good)][last])
+				}
 			}
 		}
 	}
@@ -79,31 +118,38 @@ func TestFig1Structure(t *testing.T) {
 }
 
 func TestFig3Structure(t *testing.T) {
-	if testing.Short() {
-		t.Skip("sweep")
-	}
-	r, err := Fig3(QuickBudget())
+	r, err := Fig3(testBudget())
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Multithreading raises throughput substantially from 1 to 3 threads
-	// and the curve flattens beyond 4 (paper: 2.31x, ~flat after 4).
-	if s := r.Speedup(3); s < 1.6 {
-		t.Errorf("3-thread speedup %.2f too small", s)
+	if len(r.Threads) != 6 || len(r.IPC) != 6 || len(r.Slots) != 6 {
+		t.Fatalf("axis shape: %d threads, %d IPC, %d slots", len(r.Threads), len(r.IPC), len(r.Slots))
 	}
-	if r.IPC[3] < r.IPC[2] {
-		t.Errorf("IPC dropped from 3 to 4 threads: %.2f -> %.2f", r.IPC[2], r.IPC[3])
+	for i, t2 := range r.Threads {
+		if r.IPC[i] <= 0 {
+			t.Errorf("threads=%d: non-positive IPC", t2)
+		}
 	}
-	// With one thread the EP wastes more slots on FU latency than on
-	// memory (the paper's central single-thread observation).
-	ep := r.Slots[0][1]
-	if ep.Wasted[2] <= ep.Wasted[1] { // WasteFU vs WasteMem
-		t.Errorf("1-thread EP not FU-bound: fu=%.0f mem=%.0f", ep.Wasted[2], ep.Wasted[1])
-	}
-	// AP utilization grows monotonically in threads.
-	for i := 1; i < len(r.Threads); i++ {
-		if r.Slots[i][0].UsefulFrac()+1e-9 < r.Slots[i-1][0].UsefulFrac()-0.05 {
-			t.Errorf("AP utilization regressed at %d threads", r.Threads[i])
+	if quant() {
+		// Multithreading raises throughput substantially from 1 to 3 threads
+		// and the curve flattens beyond 4 (paper: 2.31x, ~flat after 4).
+		if s := r.Speedup(3); s < 1.6 {
+			t.Errorf("3-thread speedup %.2f too small", s)
+		}
+		if r.IPC[3] < r.IPC[2] {
+			t.Errorf("IPC dropped from 3 to 4 threads: %.2f -> %.2f", r.IPC[2], r.IPC[3])
+		}
+		// With one thread the EP wastes more slots on FU latency than on
+		// memory (the paper's central single-thread observation).
+		ep := r.Slots[0][1]
+		if ep.Wasted[2] <= ep.Wasted[1] { // WasteFU vs WasteMem
+			t.Errorf("1-thread EP not FU-bound: fu=%.0f mem=%.0f", ep.Wasted[2], ep.Wasted[1])
+		}
+		// AP utilization grows monotonically in threads.
+		for i := 1; i < len(r.Threads); i++ {
+			if r.Slots[i][0].UsefulFrac()+1e-9 < r.Slots[i-1][0].UsefulFrac()-0.05 {
+				t.Errorf("AP utilization regressed at %d threads", r.Threads[i])
+			}
 		}
 	}
 	if !strings.Contains(r.Table(), "threads") {
@@ -112,43 +158,52 @@ func TestFig3Structure(t *testing.T) {
 }
 
 func TestFig4Structure(t *testing.T) {
-	if testing.Short() {
-		t.Skip("sweep")
-	}
-	r, err := Fig4(QuickBudget())
+	r, err := Fig4(testBudget())
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Decoupled configurations lose far less IPC from 1→32 cycles than
-	// non-decoupled ones (paper: <4% vs >23%).
-	for threads := 1; threads <= 4; threads++ {
-		_, _, decLoss, ok := r.At(threads, true, 32)
-		if !ok {
-			t.Fatal("missing decoupled config")
-		}
-		_, _, nonLoss, ok := r.At(threads, false, 32)
-		if !ok {
-			t.Fatal("missing non-decoupled config")
-		}
-		// Losses are negative; decoupled must lose less (be closer to 0).
-		if decLoss < nonLoss {
-			t.Errorf("%dT: decoupled loss %.1f%% worse than non-decoupled %.1f%%",
-				threads, 100*decLoss, 100*nonLoss)
+	if len(r.Configs) != 8 || len(r.Latencies) != 6 {
+		t.Fatalf("grid shape: %d configs × %d latencies", len(r.Configs), len(r.Latencies))
+	}
+	for ci, cfg := range r.Configs {
+		for li := range r.Latencies {
+			if r.IPC[ci][li] <= 0 {
+				t.Errorf("%v L2=%d: non-positive IPC", cfg, r.Latencies[li])
+			}
 		}
 	}
-	// Perceived latency: decoupled stays low, non-decoupled grows with
-	// the L2 latency.
-	decP, _, _, _ := r.At(4, true, 256)
-	nonP, _, _, _ := r.At(4, false, 256)
-	if decP > nonP/4 {
-		t.Errorf("4T perceived at 256: decoupled %.1f vs non-decoupled %.1f — gap too small", decP, nonP)
-	}
-	// Multithreading raises absolute IPC at every latency.
-	for _, lat := range []int64{1, 64} {
-		_, one, _, _ := r.At(1, true, lat)
-		_, four, _, _ := r.At(4, true, lat)
-		if four <= one {
-			t.Errorf("4T IPC (%.2f) not above 1T (%.2f) at L2=%d", four, one, lat)
+	if quant() {
+		// Decoupled configurations lose far less IPC from 1→32 cycles than
+		// non-decoupled ones (paper: <4% vs >23%).
+		for threads := 1; threads <= 4; threads++ {
+			_, _, decLoss, ok := r.At(threads, true, 32)
+			if !ok {
+				t.Fatal("missing decoupled config")
+			}
+			_, _, nonLoss, ok := r.At(threads, false, 32)
+			if !ok {
+				t.Fatal("missing non-decoupled config")
+			}
+			// Losses are negative; decoupled must lose less (be closer to 0).
+			if decLoss < nonLoss {
+				t.Errorf("%dT: decoupled loss %.1f%% worse than non-decoupled %.1f%%",
+					threads, 100*decLoss, 100*nonLoss)
+			}
+		}
+		// Perceived latency: decoupled stays low, non-decoupled grows with
+		// the L2 latency.
+		decP, _, _, _ := r.At(4, true, 256)
+		nonP, _, _, _ := r.At(4, false, 256)
+		if decP > nonP/4 {
+			t.Errorf("4T perceived at 256: decoupled %.1f vs non-decoupled %.1f — gap too small", decP, nonP)
+		}
+		// Multithreading raises absolute IPC at every latency.
+		for _, lat := range []int64{1, 64} {
+			_, one, _, _ := r.At(1, true, lat)
+			_, four, _, _ := r.At(4, true, lat)
+			if four <= one {
+				t.Errorf("4T IPC (%.2f) not above 1T (%.2f) at L2=%d", four, one, lat)
+			}
 		}
 	}
 	for _, table := range []string{r.TableA(), r.TableB(), r.TableC()} {
@@ -159,31 +214,38 @@ func TestFig4Structure(t *testing.T) {
 }
 
 func TestFig5Structure(t *testing.T) {
-	if testing.Short() {
-		t.Skip("sweep")
-	}
-	r, err := Fig5(QuickBudget())
+	r, err := Fig5(testBudget())
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The decoupled machine reaches near-peak with fewer threads than the
-	// non-decoupled machine at L2=16.
-	decPeak := PeakThreads(r.ThreadsShort, r.IPC16Dec, 0.05)
-	nonPeak := PeakThreads(r.ThreadsShort, r.IPC16Non, 0.05)
-	if decPeak >= nonPeak {
-		t.Errorf("peak threads: decoupled %d, non-decoupled %d — decoupling should need fewer", decPeak, nonPeak)
+	if len(r.ThreadsShort) != 7 || len(r.ThreadsLong) != 16 {
+		t.Fatalf("axis shape: %d short, %d long", len(r.ThreadsShort), len(r.ThreadsLong))
 	}
-	// At L2=64, the decoupled machine beats the non-decoupled one at
-	// every matched thread count.
 	for i := range r.ThreadsLong {
-		if r.IPC64Dec[i] < r.IPC64Non[i] {
-			t.Errorf("L2=64 at %d threads: decoupled %.2f below non-decoupled %.2f",
-				r.ThreadsLong[i], r.IPC64Dec[i], r.IPC64Non[i])
+		if r.IPC64Dec[i] <= 0 || r.IPC64Non[i] <= 0 {
+			t.Errorf("threads=%d: non-positive L2=64 IPC", r.ThreadsLong[i])
 		}
 	}
-	// Non-decoupled bus utilization grows with thread count at L2=64.
-	if r.Bus64Non[len(r.Bus64Non)-1] < r.Bus64Non[3] {
-		t.Error("non-decoupled bus utilization did not grow with threads")
+	if quant() {
+		// The decoupled machine reaches near-peak with fewer threads than the
+		// non-decoupled machine at L2=16.
+		decPeak := PeakThreads(r.ThreadsShort, r.IPC16Dec, 0.05)
+		nonPeak := PeakThreads(r.ThreadsShort, r.IPC16Non, 0.05)
+		if decPeak >= nonPeak {
+			t.Errorf("peak threads: decoupled %d, non-decoupled %d — decoupling should need fewer", decPeak, nonPeak)
+		}
+		// At L2=64, the decoupled machine beats the non-decoupled one at
+		// every matched thread count.
+		for i := range r.ThreadsLong {
+			if r.IPC64Dec[i] < r.IPC64Non[i] {
+				t.Errorf("L2=64 at %d threads: decoupled %.2f below non-decoupled %.2f",
+					r.ThreadsLong[i], r.IPC64Dec[i], r.IPC64Non[i])
+			}
+		}
+		// Non-decoupled bus utilization grows with thread count at L2=64.
+		if r.Bus64Non[len(r.Bus64Non)-1] < r.Bus64Non[3] {
+			t.Error("non-decoupled bus utilization did not grow with threads")
+		}
 	}
 	if !strings.Contains(r.Table(), "bus64") {
 		t.Error("table missing bus columns")
@@ -202,10 +264,7 @@ func TestPeakThreads(t *testing.T) {
 }
 
 func TestAblationsRun(t *testing.T) {
-	if testing.Short() {
-		t.Skip("sweep")
-	}
-	b := QuickBudget()
+	b := testBudget()
 	for _, a := range []struct {
 		name string
 		run  func(Budget) (*AblationResult, error)
@@ -261,33 +320,81 @@ func TestBudgetParallelism(t *testing.T) {
 	}
 }
 
-func TestParallelPreservesOrderAndErrors(t *testing.T) {
-	out := make([]int, 50)
-	err := parallel(50, 8, func(i int) error {
-		out[i] = i * i
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
+// TestSweepAggregatesAllErrors pins the semantics that replaced the old
+// parallel() helper: a sweep with several failing points reports every
+// failure, not just the first.
+func TestSweepAggregatesAllErrors(t *testing.T) {
+	b := ShortBudget()
+	badA := b.mixJob("bad-a", config.Machine{}) // fails validation
+	badB := b.benchJob("bad-b", config.Figure2(1), "no-such-benchmark")
+	_, err := b.sweep([]runner.Job{b.mixJob("ok", config.Figure2(1)), badA, badB})
+	if err == nil {
+		t.Fatal("sweep with failing jobs returned nil error")
 	}
-	for i, v := range out {
-		if v != i*i {
-			t.Fatalf("slot %d = %d", i, v)
-		}
+	var be *runner.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("sweep error is %T, want *runner.BatchError", err)
 	}
-	err = parallel(10, 4, func(i int) error {
-		if i == 7 {
-			return errFake
+	if len(be.Errors) != 2 {
+		t.Fatalf("sweep reported %d errors, want 2: %v", len(be.Errors), err)
+	}
+	for _, want := range []string{"bad-a", "bad-b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated sweep error missing %q:\n%v", want, err)
 		}
-		return nil
-	})
-	if err != errFake {
-		t.Fatalf("error not propagated: %v", err)
 	}
 }
 
-var errFake = &fakeErr{}
+// TestFigSweepsHitSharedCache verifies the cross-figure reuse the runner
+// exists for: re-running a figure through the same runner simulates
+// nothing new, and fig3's thread axis is a subset of fig5's L2=16 curve.
+func TestFigSweepsHitSharedCache(t *testing.T) {
+	r, err := runner.New(runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ShortBudget()
+	b.Runner = r
 
-type fakeErr struct{}
+	first, err := Fig3(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := r.Stats()
+	if afterFirst.Simulated == 0 {
+		t.Fatal("first sweep simulated nothing")
+	}
+	second, err := Fig3(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Simulated; got != afterFirst.Simulated {
+		t.Fatalf("re-run simulated %d new points, want 0", got-afterFirst.Simulated)
+	}
+	for i := range first.IPC {
+		if first.IPC[i] != second.IPC[i] {
+			t.Fatalf("cached fig3 IPC differs at %d threads", first.Threads[i])
+		}
+	}
 
-func (*fakeErr) Error() string { return "fake" }
+	// Fig5's L2=16 decoupled curve revisits fig3's six points (same
+	// machine, workload and budget), so a shared runner skips them.
+	before := r.Stats()
+	f5, err := Fig5(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := r.Stats()
+	newPoints := delta.Simulated - before.Simulated
+	total := int64(2*len(f5.ThreadsShort) + 2*len(f5.ThreadsLong))
+	if newPoints != total-int64(len(first.Threads)) {
+		t.Errorf("fig5 simulated %d of %d points after fig3; want %d shared",
+			newPoints, total, len(first.Threads))
+	}
+	for i, threads := range first.Threads {
+		if f5.IPC16Dec[i] != first.IPC[i] {
+			t.Errorf("shared point threads=%d: fig5 %.4f != fig3 %.4f",
+				threads, f5.IPC16Dec[i], first.IPC[i])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -42,31 +43,29 @@ func Fig1(b Budget) (*Fig1Result, error) {
 		IPC:          grid(len(benches), len(PaperLatencies)),
 		IPCLoss:      grid(len(benches), len(PaperLatencies)),
 	}
-	type job struct{ bench, lat int }
-	var jobs []job
-	for bi := range benches {
-		for li := range PaperLatencies {
-			jobs = append(jobs, job{bi, li})
+	var jobs []runner.Job
+	for _, bench := range benches {
+		for _, lat := range PaperLatencies {
+			m := config.Section2().WithL2Latency(lat)
+			jobs = append(jobs, b.benchJob(
+				fmt.Sprintf("fig1 %s L2=%d", bench.Name, lat), m, bench.Name))
 		}
 	}
-	err := parallel(len(jobs), b.parallelism(), func(i int) error {
-		j := jobs[i]
-		m := config.Section2().WithL2Latency(PaperLatencies[j.lat])
-		rep, err := b.runBench(m, benches[j.bench])
-		if err != nil {
-			return fmt.Errorf("fig1 %s L2=%d: %w", benches[j.bench].Name, PaperLatencies[j.lat], err)
-		}
-		r.PerceivedFP[j.bench][j.lat] = rep.PerceivedFP.Mean()
-		r.PerceivedInt[j.bench][j.lat] = rep.PerceivedInt.Mean()
-		r.IPC[j.bench][j.lat] = rep.IPC()
-		if PaperLatencies[j.lat] == 256 {
-			r.LoadMiss[j.bench] = rep.Mem.LoadMissRatio()
-			r.StoreMiss[j.bench] = rep.Mem.StoreMissRatio()
-		}
-		return nil
-	})
+	reps, err := b.sweep(jobs)
 	if err != nil {
 		return nil, err
+	}
+	for bi := range benches {
+		for li, lat := range PaperLatencies {
+			rep := reps[bi*len(PaperLatencies)+li]
+			r.PerceivedFP[bi][li] = rep.PerceivedFP.Mean()
+			r.PerceivedInt[bi][li] = rep.PerceivedInt.Mean()
+			r.IPC[bi][li] = rep.IPC()
+			if lat == 256 {
+				r.LoadMiss[bi] = rep.Mem.LoadMissRatio()
+				r.StoreMiss[bi] = rep.Mem.StoreMissRatio()
+			}
+		}
 	}
 	for bi := range benches {
 		base := r.IPC[bi][0]

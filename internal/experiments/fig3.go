@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/isa"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -30,17 +31,17 @@ func Fig3(b Budget) (*Fig3Result, error) {
 		IPC:     make([]float64, len(Fig3Threads)),
 		Slots:   make([][isa.NumUnits]stats.UnitSlots, len(Fig3Threads)),
 	}
-	err := parallel(len(Fig3Threads), b.parallelism(), func(i int) error {
-		rep, err := b.runMix(config.Figure2(Fig3Threads[i]))
-		if err != nil {
-			return fmt.Errorf("fig3 threads=%d: %w", Fig3Threads[i], err)
-		}
-		r.IPC[i] = rep.IPC()
-		r.Slots[i] = rep.Slots
-		return nil
-	})
+	jobs := make([]runner.Job, len(Fig3Threads))
+	for i, t := range Fig3Threads {
+		jobs[i] = b.mixJob(fmt.Sprintf("fig3 threads=%d", t), config.Figure2(t))
+	}
+	reps, err := b.sweep(jobs)
 	if err != nil {
 		return nil, err
+	}
+	for i, rep := range reps {
+		r.IPC[i] = rep.IPC()
+		r.Slots[i] = rep.Slots
 	}
 	return r, nil
 }

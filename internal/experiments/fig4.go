@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/runner"
 )
 
 // Fig4Result reproduces the paper's Figure 4: memory-latency tolerance of
@@ -59,31 +60,27 @@ func Fig4(b Budget) (*Fig4Result, error) {
 		IPC:       grid(len(Fig4Configs), len(PaperLatencies)),
 		IPCLoss:   grid(len(Fig4Configs), len(PaperLatencies)),
 	}
-	type job struct{ cfg, lat int }
-	var jobs []job
-	for ci := range Fig4Configs {
-		for li := range PaperLatencies {
-			jobs = append(jobs, job{ci, li})
+	var jobs []runner.Job
+	for _, cfg := range Fig4Configs {
+		for _, lat := range PaperLatencies {
+			m := config.Figure2(cfg.Threads).WithL2Latency(lat)
+			m.ScaleWithLatency = true
+			if !cfg.Decoupled {
+				m = m.NonDecoupled()
+			}
+			jobs = append(jobs, b.mixJob(fmt.Sprintf("fig4 %v L2=%d", cfg, lat), m))
 		}
 	}
-	err := parallel(len(jobs), b.parallelism(), func(i int) error {
-		j := jobs[i]
-		cfg := Fig4Configs[j.cfg]
-		m := config.Figure2(cfg.Threads).WithL2Latency(PaperLatencies[j.lat])
-		m.ScaleWithLatency = true
-		if !cfg.Decoupled {
-			m = m.NonDecoupled()
-		}
-		rep, err := b.runMix(m)
-		if err != nil {
-			return fmt.Errorf("fig4 %v L2=%d: %w", cfg, PaperLatencies[j.lat], err)
-		}
-		r.Perceived[j.cfg][j.lat] = rep.Perceived().Mean()
-		r.IPC[j.cfg][j.lat] = rep.IPC()
-		return nil
-	})
+	reps, err := b.sweep(jobs)
 	if err != nil {
 		return nil, err
+	}
+	for ci := range Fig4Configs {
+		for li := range PaperLatencies {
+			rep := reps[ci*len(PaperLatencies)+li]
+			r.Perceived[ci][li] = rep.Perceived().Mean()
+			r.IPC[ci][li] = rep.IPC()
+		}
 	}
 	for ci := range Fig4Configs {
 		base := r.IPC[ci][0]

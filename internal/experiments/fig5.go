@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/runner"
 )
 
 // Fig5Result reproduces the paper's Figure 5: hardware-context
@@ -41,49 +42,50 @@ func Fig5(b Budget) (*Fig5Result, error) {
 		Bus64Dec:     make([]float64, len(Fig5ThreadsLong)),
 		Bus64Non:     make([]float64, len(Fig5ThreadsLong)),
 	}
-	type job struct {
+	type point struct {
 		lat       int64
 		decoupled bool
 		idx       int // index into the axis slice
 		threads   int
 	}
-	var jobs []job
+	var points []point
 	for i, t := range Fig5ThreadsShort {
-		jobs = append(jobs,
-			job{16, true, i, t},
-			job{16, false, i, t})
+		points = append(points,
+			point{16, true, i, t},
+			point{16, false, i, t})
 	}
 	for i, t := range Fig5ThreadsLong {
-		jobs = append(jobs,
-			job{64, true, i, t},
-			job{64, false, i, t})
+		points = append(points,
+			point{64, true, i, t},
+			point{64, false, i, t})
 	}
-	err := parallel(len(jobs), b.parallelism(), func(i int) error {
-		j := jobs[i]
-		m := config.Figure2(j.threads).WithL2Latency(j.lat)
-		if !j.decoupled {
+	jobs := make([]runner.Job, len(points))
+	for i, p := range points {
+		m := config.Figure2(p.threads).WithL2Latency(p.lat)
+		if !p.decoupled {
 			m = m.NonDecoupled()
 		}
-		rep, err := b.runMix(m)
-		if err != nil {
-			return fmt.Errorf("fig5 threads=%d L2=%d dec=%v: %w", j.threads, j.lat, j.decoupled, err)
-		}
-		switch {
-		case j.lat == 16 && j.decoupled:
-			r.IPC16Dec[j.idx] = rep.IPC()
-		case j.lat == 16:
-			r.IPC16Non[j.idx] = rep.IPC()
-		case j.decoupled:
-			r.IPC64Dec[j.idx] = rep.IPC()
-			r.Bus64Dec[j.idx] = rep.BusUtilization
-		default:
-			r.IPC64Non[j.idx] = rep.IPC()
-			r.Bus64Non[j.idx] = rep.BusUtilization
-		}
-		return nil
-	})
+		jobs[i] = b.mixJob(
+			fmt.Sprintf("fig5 threads=%d L2=%d dec=%v", p.threads, p.lat, p.decoupled), m)
+	}
+	reps, err := b.sweep(jobs)
 	if err != nil {
 		return nil, err
+	}
+	for i, p := range points {
+		rep := reps[i]
+		switch {
+		case p.lat == 16 && p.decoupled:
+			r.IPC16Dec[p.idx] = rep.IPC()
+		case p.lat == 16:
+			r.IPC16Non[p.idx] = rep.IPC()
+		case p.decoupled:
+			r.IPC64Dec[p.idx] = rep.IPC()
+			r.Bus64Dec[p.idx] = rep.BusUtilization
+		default:
+			r.IPC64Non[p.idx] = rep.IPC()
+			r.Bus64Non[p.idx] = rep.BusUtilization
+		}
 	}
 	return r, nil
 }

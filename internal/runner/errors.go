@@ -1,0 +1,34 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BatchError aggregates every job failure of a batch. The old
+// experiments.parallel helper kept only the first error and silently
+// dropped the rest; a sweep of hundreds of points reports all of its
+// failures here, in job order.
+type BatchError struct {
+	// Errors holds one error per failed job, each prefixed with the
+	// job's Key.
+	Errors []error
+	// Total is the batch size, for "3 of 48 points failed" reporting.
+	Total int
+}
+
+// Error lists every failure, one per line.
+func (e *BatchError) Error() string {
+	if len(e.Errors) == 1 {
+		return fmt.Sprintf("runner: 1 of %d jobs failed: %v", e.Total, e.Errors[0])
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "runner: %d of %d jobs failed:", len(e.Errors), e.Total)
+	for _, err := range e.Errors {
+		fmt.Fprintf(&b, "\n  %v", err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual failures to errors.Is / errors.As.
+func (e *BatchError) Unwrap() []error { return e.Errors }

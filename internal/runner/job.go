@@ -1,0 +1,179 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// schemaVersion is folded into every job hash. Bump it whenever the
+// simulator's observable behaviour changes (new stats, different timing
+// model), so stale on-disk cache entries stop matching instead of
+// silently serving results from an older model.
+const schemaVersion = 1
+
+// WorkloadKind selects how a job's instruction sources are built.
+type WorkloadKind string
+
+const (
+	// KindMix runs the paper's Section-3 workload: every context executes
+	// a rotated concatenation of all ten benchmarks.
+	KindMix WorkloadKind = "mix"
+	// KindBench runs one named benchmark on every context, each copy with
+	// a private address space and a perturbed seed.
+	KindBench WorkloadKind = "bench"
+)
+
+// Workload is the canonical description of a job's instruction streams.
+// It is part of the job hash, so two workloads with equal fields are
+// assumed to generate identical streams (which the workload package
+// guarantees for a given seed).
+type Workload struct {
+	Kind WorkloadKind
+	// Bench names the benchmark for KindBench.
+	Bench string
+	// SegmentLen overrides the mix rotation length for KindMix (0 =
+	// workload.DefaultSegmentLen).
+	SegmentLen int64
+	// Seed perturbs the workload's data-dependent randomness.
+	Seed uint64
+}
+
+// MixWorkload describes the all-benchmark mix.
+func MixWorkload(seed uint64, segmentLen int64) Workload {
+	return Workload{Kind: KindMix, Seed: seed, SegmentLen: segmentLen}
+}
+
+// BenchWorkload describes a single named benchmark.
+func BenchWorkload(name string, seed uint64) Workload {
+	return Workload{Kind: KindBench, Bench: name, Seed: seed}
+}
+
+// Budget is a job's instruction budget in machine-wide totals (callers
+// with per-thread budgets multiply by the thread count first, as the
+// experiments package does).
+type Budget struct {
+	// WarmupInsts graduates before statistics reset.
+	WarmupInsts int64
+	// MeasureInsts is the measurement window.
+	MeasureInsts int64
+	// MaxCycles caps the run (0 = sim.DefaultMaxCycles).
+	MaxCycles int64
+}
+
+// Job describes one simulation point. Jobs are pure data: everything a
+// run depends on is in the Machine, Workload and Budget fields, which is
+// what makes result caching sound.
+type Job struct {
+	// Key is a human-readable label used in errors and progress lines
+	// (e.g. "fig1 swim L2=64"). It is NOT part of the hash: two figures
+	// that sweep the same point share one cache entry.
+	Key      string
+	Machine  config.Machine
+	Workload Workload
+	Budget   Budget
+}
+
+// hashable is the canonical hash input. Field order is fixed by the
+// struct definition, so encoding/json produces a deterministic byte
+// stream for a given value.
+type hashable struct {
+	Version  int
+	Machine  config.Machine
+	Workload Workload
+	Budget   Budget
+}
+
+// Hash returns the canonical content hash identifying the job's result:
+// a hex SHA-256 of the (Machine, Workload, Budget) triple plus the cache
+// schema version. Job.Key is deliberately excluded.
+func (j Job) Hash() string {
+	b, err := json.Marshal(hashable{
+		Version:  schemaVersion,
+		Machine:  j.Machine,
+		Workload: j.Workload,
+		Budget:   j.Budget,
+	})
+	if err != nil {
+		// Machine/Workload/Budget are plain data; Marshal cannot fail.
+		panic(fmt.Sprintf("runner: hash job %q: %v", j.Key, err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Validate checks the job before it is scheduled.
+func (j Job) Validate() error {
+	switch j.Workload.Kind {
+	case KindMix:
+	case KindBench:
+		if _, err := workload.ByName(j.Workload.Bench); err != nil {
+			return fmt.Errorf("runner: job %q: %w", j.Key, err)
+		}
+	default:
+		return fmt.Errorf("runner: job %q: unknown workload kind %q", j.Key, j.Workload.Kind)
+	}
+	if j.Budget.MeasureInsts <= 0 {
+		return fmt.Errorf("runner: job %q: non-positive measurement budget", j.Key)
+	}
+	if err := j.Machine.Validate(); err != nil {
+		return fmt.Errorf("runner: job %q: %w", j.Key, err)
+	}
+	return nil
+}
+
+// sources builds the per-thread instruction streams.
+func (j Job) sources() ([]trace.Reader, error) {
+	switch j.Workload.Kind {
+	case KindMix:
+		return workload.MixSources(j.Machine.Threads, workload.MixOpts{
+			SegmentLen: j.Workload.SegmentLen,
+			Seed:       j.Workload.Seed,
+		}), nil
+	case KindBench:
+		b, err := workload.ByName(j.Workload.Bench)
+		if err != nil {
+			return nil, err
+		}
+		srcs := make([]trace.Reader, j.Machine.Threads)
+		for t := 0; t < j.Machine.Threads; t++ {
+			srcs[t] = b.NewReader(workload.ReaderOpts{
+				AddrOffset: workload.ThreadAddrOffset(t),
+				Seed:       j.Workload.Seed + uint64(t),
+			})
+		}
+		return srcs, nil
+	default:
+		return nil, fmt.Errorf("unknown workload kind %q", j.Workload.Kind)
+	}
+}
+
+// execute runs the simulation for the job.
+func (j Job) execute() (stats.Report, error) {
+	srcs, err := j.sources()
+	if err != nil {
+		return stats.Report{}, fmt.Errorf("runner: job %q: %w", j.Key, err)
+	}
+	res, err := sim.Run(sim.Options{
+		Machine:      j.Machine,
+		Sources:      srcs,
+		WarmupInsts:  j.Budget.WarmupInsts,
+		MeasureInsts: j.Budget.MeasureInsts,
+		MaxCycles:    j.Budget.MaxCycles,
+	})
+	if err != nil {
+		return stats.Report{}, fmt.Errorf("runner: job %q: %w", j.Key, err)
+	}
+	if !res.Completed {
+		return res.Report, fmt.Errorf("runner: job %q (threads=%d, L2=%d) hit the cycle cap",
+			j.Key, j.Machine.Threads, j.Machine.Mem.L2Latency)
+	}
+	return res.Report, nil
+}

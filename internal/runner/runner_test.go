@@ -1,0 +1,400 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// testBudget is small enough that a single job runs in milliseconds but
+// still graduates through warm-up and measurement windows.
+func testBudget() Budget {
+	return Budget{WarmupInsts: 500, MeasureInsts: 2_000}
+}
+
+// mixJob builds a quick mix job on an n-thread Figure-2 machine.
+func mixJob(key string, threads int, seed uint64) Job {
+	return Job{
+		Key:      key,
+		Machine:  config.Figure2(threads),
+		Workload: MixWorkload(seed, 0),
+		Budget:   testBudget(),
+	}
+}
+
+// benchJob builds a quick single-benchmark job.
+func benchJob(key, bench string, l2 int64) Job {
+	return Job{
+		Key:      key,
+		Machine:  config.Figure2(1).WithL2Latency(l2),
+		Workload: BenchWorkload(bench, 0),
+		Budget:   testBudget(),
+	}
+}
+
+func testJobs() []Job {
+	return []Job{
+		mixJob("mix-1t", 1, 0),
+		mixJob("mix-2t", 2, 0),
+		benchJob("swim-16", "swim", 16),
+		benchJob("swim-64", "swim", 64),
+	}
+}
+
+func mustRunner(t *testing.T, opts Options) *Runner {
+	t.Helper()
+	r, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestHashIgnoresKeyAndSeparatesContent(t *testing.T) {
+	a := mixJob("fig3 threads=1", 1, 0)
+	b := mixJob("fig5 threads=1 L2=16", 1, 0)
+	if a.Hash() != b.Hash() {
+		t.Error("hash depends on the human-readable key")
+	}
+	for name, other := range map[string]Job{
+		"seed":    mixJob("x", 1, 7),
+		"threads": mixJob("x", 2, 0),
+		"bench":   benchJob("x", "swim", 16),
+		"budget": {Key: "x", Machine: config.Figure2(1),
+			Workload: MixWorkload(0, 0), Budget: Budget{WarmupInsts: 500, MeasureInsts: 2_001}},
+	} {
+		if other.Hash() == a.Hash() {
+			t.Errorf("%s change did not change the hash", name)
+		}
+	}
+	m := config.Figure2(1)
+	m.Mem.L2Latency = 17
+	diff := Job{Key: "x", Machine: m, Workload: MixWorkload(0, 0), Budget: testBudget()}
+	if diff.Hash() == a.Hash() {
+		t.Error("machine change did not change the hash")
+	}
+}
+
+func TestSecondRunHitsCacheAndIsIdentical(t *testing.T) {
+	r := mustRunner(t, Options{Workers: 4})
+	jobs := testJobs()
+	first, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Simulated; got != int64(len(jobs)) {
+		t.Fatalf("first run simulated %d jobs, want %d", got, len(jobs))
+	}
+	second, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Simulated; got != int64(len(jobs)) {
+		t.Fatalf("second run performed %d new simulations, want 0", got-int64(len(jobs)))
+	}
+	for i := range second {
+		if !second[i].Cached {
+			t.Errorf("job %q not served from cache on re-run", second[i].Job.Key)
+		}
+		if !reflect.DeepEqual(first[i].Report, second[i].Report) {
+			t.Errorf("job %q: cached report differs from computed report", second[i].Job.Key)
+		}
+	}
+}
+
+func TestCachedAndUncachedReportsBitIdentical(t *testing.T) {
+	jobs := testJobs()
+	// Uncached reference: a fresh runner per run.
+	ref, err := mustRunner(t, Options{Workers: 2}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached path: a disk-backed runner, run twice, then a second
+	// disk-backed runner reading the first one's entries.
+	dir := t.TempDir()
+	warm := mustRunner(t, Options{Workers: 2, CacheDir: dir})
+	if _, err := warm.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	cold := mustRunner(t, Options{Workers: 2, CacheDir: dir})
+	got, err := cold.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim := cold.Stats().Simulated; sim != 0 {
+		t.Fatalf("disk-cached run simulated %d jobs, want 0", sim)
+	}
+	for i := range jobs {
+		want, _ := json.Marshal(ref[i].Report)
+		have, _ := json.Marshal(got[i].Report)
+		if string(want) != string(have) {
+			t.Errorf("job %q: disk round-trip altered the report\nwant %s\nhave %s",
+				jobs[i].Key, want, have)
+		}
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	jobs := testJobs()
+	ref, err := mustRunner(t, Options{Workers: 1}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := mustRunner(t, Options{Workers: 7}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(ref[i].Report, wide[i].Report) {
+			t.Errorf("job %q: report depends on the worker count", jobs[i].Key)
+		}
+	}
+}
+
+func TestDuplicatePointsSimulateOnce(t *testing.T) {
+	r := mustRunner(t, Options{Workers: 8})
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = mixJob(fmt.Sprintf("dup-%d", i), 1, 0) // same point, different keys
+	}
+	results, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Simulated; got != 1 {
+		t.Fatalf("%d simulations for 8 identical points, want 1", got)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0].Report, results[i].Report) {
+			t.Fatal("deduplicated results differ")
+		}
+	}
+}
+
+func TestBatchCollectsAllErrorsAndPartialResults(t *testing.T) {
+	r := mustRunner(t, Options{Workers: 4})
+	bad1 := mixJob("bad-threads", 1, 0)
+	bad1.Machine.Threads = 0
+	bad2 := benchJob("bad-bench", "no-such-benchmark", 16)
+	jobs := []Job{mixJob("good-a", 1, 0), bad1, bad2, mixJob("good-b", 2, 0)}
+
+	results, err := r.Run(jobs)
+	if err == nil {
+		t.Fatal("batch with invalid jobs returned nil error")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BatchError", err)
+	}
+	if len(be.Errors) != 2 || be.Total != 4 {
+		t.Fatalf("BatchError has %d/%d failures, want 2/4", len(be.Errors), be.Total)
+	}
+	msg := err.Error()
+	for _, want := range []string{"bad-threads", "no-such-benchmark"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("aggregated error missing %q:\n%s", want, msg)
+		}
+	}
+	// The good jobs still produced reports (partial-result collection).
+	for _, i := range []int{0, 3} {
+		if results[i].Err != nil || results[i].Report.Graduated == 0 {
+			t.Errorf("good job %q has no result alongside failures", results[i].Job.Key)
+		}
+	}
+}
+
+func TestCancelledSweepResumesFromDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []Job{
+		mixJob("p0", 1, 0), mixJob("p1", 1, 1), mixJob("p2", 1, 2),
+		mixJob("p3", 1, 3), mixJob("p4", 1, 4), mixJob("p5", 1, 5),
+	}
+
+	// Cancel the sweep after the second completed point; one worker so
+	// the dispatch order is deterministic.
+	ctx, cancel := context.WithCancel(context.Background())
+	r1, err := New(Options{Workers: 1, CacheDir: dir, OnProgress: func(p Progress) {
+		if p.Done == 2 {
+			cancel()
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.RunContext(ctx, jobs); err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	completed := r1.Stats().Simulated
+	if completed == 0 || completed == int64(len(jobs)) {
+		t.Fatalf("cancelled sweep completed %d of %d points", completed, len(jobs))
+	}
+	onDisk, err := r1.DiskEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(onDisk) != completed {
+		t.Fatalf("%d checkpointed entries for %d completed points", onDisk, completed)
+	}
+
+	// A fresh process re-runs the same sweep: only the remainder is
+	// simulated.
+	r2 := mustRunner(t, Options{Workers: 2, CacheDir: dir})
+	results, err := r2.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Stats().Simulated; got != int64(len(jobs))-completed {
+		t.Fatalf("resume simulated %d points, want %d", got, int64(len(jobs))-completed)
+	}
+	for _, res := range results {
+		if res.Err != nil || res.Report.Graduated == 0 {
+			t.Errorf("job %q missing after resume", res.Job.Key)
+		}
+	}
+}
+
+func TestCorruptedDiskEntryIsRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []Job{mixJob("p", 1, 0)}
+	r1 := mustRunner(t, Options{CacheDir: dir})
+	want, err := r1.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the entry to garbage.
+	path := filepath.Join(dir, jobs[0].Hash()+".json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2 := mustRunner(t, Options{CacheDir: dir})
+	got, err := r2.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats().Simulated != 1 {
+		t.Fatal("corrupted entry was served instead of recomputed")
+	}
+	if !reflect.DeepEqual(want[0].Report, got[0].Report) {
+		t.Fatal("recomputed report differs")
+	}
+}
+
+func TestMismatchedHashEntryIsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []Job{mixJob("p", 1, 0)}
+	r1 := mustRunner(t, Options{CacheDir: dir})
+	if _, err := r1.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the valid entry under a different point's hash — a model of a
+	// renamed/aliased file. The embedded hash no longer matches.
+	raw, err := os.ReadFile(filepath.Join(dir, jobs[0].Hash()+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := mixJob("q", 1, 99)
+	if err := os.WriteFile(filepath.Join(dir, other.Hash()+".json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2 := mustRunner(t, Options{CacheDir: dir})
+	if _, err := r2.Run([]Job{other}); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats().Simulated != 1 {
+		t.Fatal("entry with mismatched hash was trusted")
+	}
+}
+
+func TestOrphanedTempFilesSwept(t *testing.T) {
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, strings.Repeat("ab", 8)+".tmp1234")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{mixJob("p", 1, 0)}
+	r := mustRunner(t, Options{CacheDir: dir})
+	if _, err := r.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphaned .tmp file survived cache startup")
+	}
+	if n, _ := r.DiskEntries(); n != 1 {
+		t.Errorf("%d disk entries, want 1", n)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var events []Progress
+	r := mustRunner(t, Options{Workers: 2, OnProgress: func(p Progress) {
+		events = append(events, p)
+	}})
+	jobs := testJobs()
+	if _, err := r.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("%d progress events for %d jobs", len(events), len(jobs))
+	}
+	last := events[len(events)-1]
+	if last.Done != len(jobs) || last.Total != len(jobs) {
+		t.Fatalf("final progress %d/%d, want %d/%d", last.Done, last.Total, len(jobs), len(jobs))
+	}
+	// Re-run: every event reports a cache hit.
+	events = nil
+	if _, err := r.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range events {
+		if !p.Cached {
+			t.Errorf("job %q not reported as cached on re-run", p.Job.Key)
+		}
+	}
+	if events[len(events)-1].CacheHits != len(jobs) {
+		t.Errorf("final cache-hit count %d, want %d", events[len(events)-1].CacheHits, len(jobs))
+	}
+}
+
+func TestValidateRejectsBadJobs(t *testing.T) {
+	good := mixJob("ok", 1, 0)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	noBudget := good
+	noBudget.Budget.MeasureInsts = 0
+	badKind := good
+	badKind.Workload.Kind = "interleaved"
+	badMachine := good
+	badMachine.Machine.Threads = -1
+	for name, j := range map[string]Job{
+		"budget": noBudget, "kind": badKind, "machine": badMachine,
+	} {
+		if err := j.Validate(); err == nil {
+			t.Errorf("%s: invalid job accepted", name)
+		}
+	}
+}
+
+func TestReportsAlignsWithJobs(t *testing.T) {
+	r := mustRunner(t, Options{Workers: 2})
+	jobs := []Job{mixJob("a", 1, 0), mixJob("b", 2, 0)}
+	results, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := Reports(results)
+	if len(reps) != 2 {
+		t.Fatalf("%d reports", len(reps))
+	}
+	if reps[0].Threads != 1 || reps[1].Threads != 2 {
+		t.Fatalf("report order does not match job order: %d/%d threads", reps[0].Threads, reps[1].Threads)
+	}
+}
