@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	daesim "repro"
@@ -38,8 +39,28 @@ func main() {
 		traceFiles   = flag.String("trace", "", "comma-separated trace files (one per thread; overrides -bench/mix)")
 		jsonOut      = flag.Bool("json", false, "emit the report as JSON (for scripting)")
 		cacheDir     = flag.String("cache", "", "on-disk result cache directory shared with dae-sweep (bench/mix runs only)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (inspect with go tool pprof)")
 	)
 	flag.Parse()
+
+	// fail stops an active CPU profile (a no-op otherwise, keeping the
+	// output file valid) before exiting on an error.
+	fail := func(err error) {
+		pprof.StopCPUProfile()
+		fmt.Fprintln(os.Stderr, "dae-sim:", err)
+		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var m daesim.Machine
 	if *section2 {
@@ -67,15 +88,13 @@ func main() {
 		rep, err = runJob(m, *bench, *cacheDir, opts)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dae-sim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(os.Stderr, "dae-sim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}

@@ -38,6 +38,7 @@ type options struct {
 	budget   experiments.Budget
 	csvDir   string
 	cacheDir string
+	hashFile string
 	progress bool
 }
 
@@ -54,6 +55,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		workers  = fs.Int("workers", 0, "parallel simulations (0 = all cores)")
 		csvDir   = fs.String("csv", "", "also write raw results as CSV files into this directory")
 		cacheDir = fs.String("cache", "", "on-disk result cache directory: re-runs skip already-computed points and interrupted sweeps resume")
+		hashFile = fs.String("hashfile", "", "write the sorted result content hashes (one 'jobhash reporthash key' line per point) to this file; two runs of the same sweep must produce identical files (the CI determinism gate)")
 		progress = fs.Bool("progress", false, "report per-point progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +82,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		budget:   budget,
 		csvDir:   *csvDir,
 		cacheDir: *cacheDir,
+		hashFile: *hashFile,
 		progress: *progress,
 	}, nil
 }
@@ -128,11 +131,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "dae-sweep:", err)
 		return 1
 	}
+	if opts.hashFile != "" {
+		if err := writeHashFile(opts.hashFile, r, stderr); err != nil {
+			fmt.Fprintln(stderr, "dae-sweep:", err)
+			return 1
+		}
+	}
 	if opts.progress {
 		s := r.Stats()
 		fmt.Fprintf(stderr, "sweep: %d simulated, %d cache hits\n", s.Simulated, s.CacheHits)
 	}
 	return 0
+}
+
+// writeHashFile dumps the runner's result content hashes for the
+// determinism gate.
+func writeHashFile(path string, r *runner.Runner, stderr io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n, err := r.WriteHashes(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d result hashes to %s\n", n, path)
+	return nil
 }
 
 // csvWriter is implemented by every experiment result.

@@ -60,6 +60,11 @@ type Context struct {
 	Unresolved int
 	// unresolvedBranches lists issued branches awaiting resolution.
 	unresolvedBranches []*DynInst
+	// nextBranchResolveAt is the earliest DoneAt among the issued
+	// unresolved branches (Never when none): resolveBranches skips its
+	// scan until that cycle, and fast-forward uses it as the branch event
+	// bound. Maintained at branch issue and after every resolution scan.
+	nextBranchResolveAt int64
 	// FetchBlocked is the mispredicted branch currently freezing fetch.
 	FetchBlocked *DynInst
 	// FetchResumeAt is the earliest cycle fetch may resume after a
@@ -85,17 +90,18 @@ func newContext(id int, m config.Machine, src trace.Reader) (*Context, error) {
 		return nil, err
 	}
 	c := &Context{
-		ID:       id,
-		Source:   src,
-		FetchBuf: queue.New[*DynInst](m.FetchBufSize),
-		APQ:      queue.New[*DynInst](m.APQSize),
-		EPQ:      queue.New[*DynInst](m.IQSize),
-		ROB:      queue.New[*DynInst](m.ROBSize),
-		SAQ:      queue.New[*DynInst](m.SAQSize),
-		APFile:   regfile.New(m.APRegs),
-		EPFile:   regfile.New(m.EPRegs),
-		Map:      rename.NewTable(),
-		Pred:     pred,
+		ID:                  id,
+		Source:              src,
+		nextBranchResolveAt: Never,
+		FetchBuf:            queue.New[*DynInst](m.FetchBufSize),
+		APQ:                 queue.New[*DynInst](m.APQSize),
+		EPQ:                 queue.New[*DynInst](m.IQSize),
+		ROB:                 queue.New[*DynInst](m.ROBSize),
+		SAQ:                 queue.New[*DynInst](m.SAQSize),
+		APFile:              regfile.New(m.APRegs),
+		EPFile:              regfile.New(m.EPRegs),
+		Map:                 rename.NewTable(),
+		Pred:                pred,
 	}
 	c.Meta[isa.AP] = make([]regMeta, m.APRegs)
 	c.Meta[isa.EP] = make([]regMeta, m.EPRegs)
@@ -113,15 +119,58 @@ func (c *Context) file(u isa.Unit) *regfile.File {
 	return c.EPFile
 }
 
-// alloc takes a DynInst from the pool (or allocates one) and resets it.
-func (c *Context) alloc() *DynInst {
-	var d *DynInst
-	if n := len(c.pool); n > 0 {
-		d = c.pool[n-1]
-		c.pool = c.pool[:n-1]
-	} else {
-		d = new(DynInst)
+// NextEventAt returns the earliest cycle strictly after now at which this
+// context's state can change on its own: fetch unfreezes after a redirect,
+// an issued branch resolves, the ROB head completes or becomes eligible to
+// probe the cache, a pending load's or queued store's address arrives, or
+// any physical register's value is delivered. Together with the memory
+// system's pending refills these bound every comparison the pipeline
+// stages make against the current cycle, which is what makes Core.Step's
+// fast-forward exact.
+func (c *Context) NextEventAt(now int64) int64 {
+	next := Never
+	consider := func(at int64) {
+		if at > now && at < next {
+			next = at
+		}
 	}
+	consider(c.FetchResumeAt)
+	consider(c.nextBranchResolveAt)
+	if d, ok := c.ROB.Peek(); ok {
+		consider(d.DoneAt)
+		consider(d.AccessAt)
+	}
+	for _, d := range c.PendingAccess {
+		consider(d.AccessAt)
+	}
+	c.SAQ.Scan(func(d *DynInst) bool {
+		consider(d.AccessAt)
+		return true
+	})
+	// The register files come last: their cached minima make these O(1)
+	// in the common case.
+	consider(c.APFile.NextReadyAfter(now))
+	consider(c.EPFile.NextReadyAfter(now))
+	return next
+}
+
+// poolBlock is the batch size of DynInst pool growth: one backing array
+// per block amortizes ramp-up allocation and keeps in-flight instructions
+// dense in memory.
+const poolBlock = 64
+
+// alloc takes a DynInst from the pool (growing it a block at a time) and
+// resets it. In steady state the pool recycles without allocating.
+func (c *Context) alloc() *DynInst {
+	if len(c.pool) == 0 {
+		block := make([]DynInst, poolBlock)
+		for i := range block {
+			c.pool = append(c.pool, &block[i])
+		}
+	}
+	n := len(c.pool) - 1
+	d := c.pool[n]
+	c.pool = c.pool[:n]
 	d.reset()
 	return d
 }

@@ -48,10 +48,27 @@ type Core struct {
 
 	col stats.Collector
 
+	// skippedCycles counts cycles fast-forwarded over rather than ticked
+	// (for reporting; they are fully accounted in the collector).
+	skippedCycles int64
+	// progressed reports whether the last Tick changed machine state
+	// beyond the constant per-cycle stall accounting. A cycle without
+	// progress is provably identical to every following cycle up to the
+	// next scheduled event, which is what lets Step fast-forward.
+	progressed bool
+	// dispatchStallDelta and conflictStallDelta are the last Tick's
+	// increments of the corresponding collector counters, replayed per
+	// skipped cycle by fastForward.
+	dispatchStallDelta int64
+	conflictStallDelta int64
+
 	// scratch buffers reused every cycle (avoid per-cycle allocation).
 	reasonBuf [isa.NumUnits][]stats.WasteReason
-	fetchPick []int
-	orderBuf  []int
+	// memStallBuf lists the stream heads whose MemStall counter advanced
+	// this cycle (rebuilt alongside reasonBuf, replayed by fastForward).
+	memStallBuf []*DynInst
+	fetchPick   []int
+	orderBuf    []int
 }
 
 // New builds a core for machine m (after applying the latency scaling
@@ -93,6 +110,11 @@ func (c *Core) Mem() *mem.System { return c.mem }
 // Now returns the current cycle.
 func (c *Core) Now() int64 { return c.now }
 
+// SkippedCycles returns how many cycles Step fast-forwarded over instead
+// of simulating stage by stage. The skipped cycles are fully accounted in
+// the collector; this counter only measures the scheduler's leverage.
+func (c *Core) SkippedCycles() int64 { return c.skippedCycles }
+
 // Collector returns the statistics collector (mutable; reset between
 // warm-up and measurement).
 func (c *Core) Collector() *stats.Collector { return &c.col }
@@ -117,7 +139,12 @@ func (c *Core) Done() bool {
 func (c *Core) Tick() {
 	c.now++
 	c.col.Cycles++
-	c.mem.BeginCycle(c.now)
+	c.progressed = false
+	dispatchStalls := c.col.DispatchStalls
+	conflictStalls := c.col.LoadConflictStalls
+	if c.mem.BeginCycle(c.now) > 0 {
+		c.progressed = true
+	}
 	c.resolveBranches()
 	c.graduate()
 	c.cacheAccess()
@@ -125,11 +152,52 @@ func (c *Core) Tick() {
 	c.dispatch()
 	c.fetch()
 	c.rotate++
+	c.dispatchStallDelta = c.col.DispatchStalls - dispatchStalls
+	c.conflictStallDelta = c.col.LoadConflictStalls - conflictStalls
 }
 
-// Run ticks until every source is drained or the cycle limit is hit; it
-// returns the number of cycles executed and whether the machine drained.
+// Step advances the machine by at least one cycle, fast-forwarding over
+// provably idle stretches: when a Tick makes no forward progress, every
+// following cycle is identical to it until the next scheduled event (a
+// load or store completes, a branch resolves, fetch unfreezes, an operand
+// arrives), so Step jumps directly to the cycle before that event,
+// bulk-accounting the skipped cycles into the same waste buckets stepping
+// would fill. Results are bit-identical to calling Tick in a loop. The
+// machine never advances past the absolute cycle horizon.
+func (c *Core) Step(horizon int64) {
+	c.Tick()
+	// A tick that discovers source exhaustion can drain the machine
+	// without registering progress; never skip once Done.
+	if c.progressed || c.now >= horizon || c.Done() {
+		return
+	}
+	end := c.nextEventAt() - 1
+	if end > horizon {
+		end = horizon
+	}
+	if end > c.now {
+		c.fastForward(end - c.now)
+	}
+}
+
+// Run advances until every source is drained or the cycle limit is hit
+// (fast-forwarding over idle stretches); it returns the number of cycles
+// executed and whether the machine drained.
 func (c *Core) Run(maxCycles int64) (int64, bool) {
+	start := c.now
+	for !c.Done() {
+		if c.now-start >= maxCycles {
+			return c.now - start, false
+		}
+		c.Step(start + maxCycles)
+	}
+	return c.now - start, true
+}
+
+// RunStepped is Run without fast-forwarding: the golden reference the
+// equivalence tests compare Run against, and the baseline the speedup
+// benchmarks measure.
+func (c *Core) RunStepped(maxCycles int64) (int64, bool) {
 	start := c.now
 	for !c.Done() {
 		if c.now-start >= maxCycles {
@@ -138,6 +206,63 @@ func (c *Core) Run(maxCycles int64) (int64, bool) {
 		c.Tick()
 	}
 	return c.now - start, true
+}
+
+// ----------------------------------------------------------------------------
+// Fast-forward.
+
+// nextEventAt returns the earliest cycle strictly after now at which the
+// machine's state can change: the minimum over every per-context event
+// source and the memory system's pending refills. Never when nothing is
+// scheduled (the machine is deadlocked or drained).
+func (c *Core) nextEventAt() int64 {
+	next := Never
+	for _, ctx := range c.ctxs {
+		if at := ctx.NextEventAt(c.now); at < next {
+			next = at
+		}
+	}
+	if at := c.mem.NextEventAt(c.now); at < next {
+		next = at
+	}
+	return next
+}
+
+// fastForward bulk-accounts k cycles identical to the one just simulated.
+// Only the constant per-cycle deltas of a no-progress cycle exist: the
+// cycle counter, each unit's offered and wasted issue slots, the blocked
+// heads' memory-stall counters, and the dispatch/load-conflict stall
+// counters. The float additions are repeated rather than multiplied so the
+// waste buckets stay bit-identical to stepping.
+func (c *Core) fastForward(k int64) {
+	c.skippedCycles += k
+	for i := int64(0); i < k; i++ {
+		c.col.Cycles++
+		// On a no-progress cycle nothing issued, so every slot was left
+		// over: accountSlots with left == width repeats the recorded
+		// cycle's accounting exactly (reasonBuf still holds its reasons).
+		c.accountSlots(isa.AP, c.cfg.APWidth, c.cfg.APWidth)
+		c.accountSlots(isa.EP, c.cfg.EPWidth, c.cfg.EPWidth)
+	}
+	for _, d := range c.memStallBuf {
+		d.MemStall += k
+	}
+	c.col.DispatchStalls += k * c.dispatchStallDelta
+	c.col.LoadConflictStalls += k * c.conflictStallDelta
+	c.rotate += int(k)
+	c.now += k
+}
+
+// rotStart returns this cycle's round-robin starting thread, and rotNext
+// the following index (modulo-free wrap). Every rotated stage walk uses
+// this pair so the rotation policy lives in one place.
+func (c *Core) rotStart() int { return c.rotate % len(c.ctxs) }
+
+func (c *Core) rotNext(t int) int {
+	if t++; t == len(c.ctxs) {
+		return 0
+	}
+	return t
 }
 
 // ----------------------------------------------------------------------------
@@ -152,14 +277,23 @@ func (c *Core) Run(maxCycles int64) (int64, bool) {
 // only drives the pipeline timing.
 func (c *Core) resolveBranches() {
 	for _, ctx := range c.ctxs {
-		for i := 0; i < len(ctx.unresolvedBranches); {
-			b := ctx.unresolvedBranches[i]
+		if c.now < ctx.nextBranchResolveAt {
+			continue // earliest issued branch is not due yet: skip the scan
+		}
+		br := ctx.unresolvedBranches
+		next := Never
+		for i := 0; i < len(br); {
+			b := br[i]
 			if !b.Issued || b.DoneAt > c.now {
+				if b.Issued && b.DoneAt < next {
+					next = b.DoneAt
+				}
 				i++
 				continue
 			}
 			ctx.Unresolved--
 			c.col.Branches++
+			c.progressed = true
 			if b.Mispredicted {
 				c.col.Mispredicts++
 				if ctx.FetchBlocked == b {
@@ -167,8 +301,16 @@ func (c *Core) resolveBranches() {
 					ctx.FetchResumeAt = c.now + 1 // redirect penalty
 				}
 			}
-			ctx.unresolvedBranches = append(ctx.unresolvedBranches[:i], ctx.unresolvedBranches[i+1:]...)
+			// Swap-remove: every branch due this cycle retires regardless
+			// of list position (retirement is keyed by DoneAt alone), so
+			// order need not be preserved.
+			last := len(br) - 1
+			br[i] = br[last]
+			br[last] = nil
+			br = br[:last]
 		}
+		ctx.unresolvedBranches = br
+		ctx.nextBranchResolveAt = next
 	}
 }
 
@@ -181,8 +323,10 @@ func (c *Core) resolveBranches() {
 // structural hazard stalls its thread's graduation, which is what bounds
 // the AP's run-ahead when the EP falls far behind.
 func (c *Core) graduate() {
+	t := c.rotStart()
 	for k := 0; k < len(c.ctxs); k++ {
-		ctx := c.ctxs[(c.rotate+k)%len(c.ctxs)]
+		ctx := c.ctxs[t]
+		t = c.rotNext(t)
 		budget := c.cfg.GraduateWidth
 		for budget > 0 {
 			d, ok := ctx.ROB.Peek()
@@ -197,8 +341,9 @@ func (c *Core) graduate() {
 				break
 			}
 			ctx.ROB.Pop()
+			c.progressed = true
 			if d.Dest.Valid() {
-				ctx.file(isa.DestUnit(&d.Inst)).Free(d.POld)
+				ctx.file(d.DestFile).Free(d.POld)
 			}
 			c.col.Graduated++
 			c.col.GraduatedByOp[d.Op]++
@@ -218,6 +363,9 @@ func (c *Core) tryCommitStore(ctx *Context, d *DynInst) bool {
 	if !ctx.file(d.Src1File).Ready(d.PSrc1, c.now) {
 		return false // store data not produced yet
 	}
+	// The probe mutates memory-system counters even when rejected, so a
+	// cycle that reaches it is never skippable.
+	c.progressed = true
 	res := c.mem.StoreCommit(d.Addr)
 	if !res.OK {
 		return false // port or MSHR pressure: retry next cycle
@@ -241,8 +389,13 @@ func (c *Core) tryCommitStore(ctx *Context, d *DynInst) bool {
 // the store has committed (the paper's SAQ only lets loads bypass
 // *non-conflicting* stores).
 func (c *Core) cacheAccess() {
+	t := c.rotStart()
 	for k := 0; k < len(c.ctxs); k++ {
-		ctx := c.ctxs[(c.rotate+k)%len(c.ctxs)]
+		ctx := c.ctxs[t]
+		t = c.rotNext(t)
+		if len(ctx.PendingAccess) == 0 {
+			continue
+		}
 		keep := ctx.PendingAccess[:0]
 		blocked := false // once one access is rejected, keep age order
 		for _, d := range ctx.PendingAccess {
@@ -267,6 +420,9 @@ type loadOutcome uint8
 const (
 	loadDone loadOutcome = iota
 	loadRetry
+	// loadProbe is internal to tryLoad: no SAQ decision was reached and
+	// the load proceeds to the cache probe.
+	loadProbe
 )
 
 // tryLoad attempts one load's cache access.
@@ -274,26 +430,34 @@ func (c *Core) tryLoad(ctx *Context, d *DynInst) loadOutcome {
 	// Older conflicting store in the SAQ? (All older stores have computed
 	// their addresses: the AP issues in order, so any store still awaiting
 	// its address is younger than d.)
-	for i := 0; i < ctx.SAQ.Len(); i++ {
-		st := ctx.SAQ.At(i)
+	outcome := loadProbe
+	ctx.SAQ.Scan(func(st *DynInst) bool {
 		if st.Seq >= d.Seq {
-			break // SAQ is in program order; the rest are younger
+			return false // SAQ is in program order; the rest are younger
 		}
 		if !st.Issued || c.now < st.AccessAt {
-			continue // address not known yet; store is younger in AP order anyway
+			return true // address not known yet; store is younger in AP order anyway
 		}
 		if !overlaps(d, st) {
-			continue
+			return true
 		}
 		if c.cfg.StoreForwarding && ctx.file(st.Src1File).Ready(st.PSrc1, c.now) {
 			// Forward the store data to the load.
 			c.completeLoad(ctx, d, c.now+1, false)
 			c.col.StoreForwards++
-			return loadDone
+			outcome = loadDone
+			return false
 		}
 		c.col.LoadConflictStalls++
-		return loadRetry
+		outcome = loadRetry
+		return false
+	})
+	if outcome != loadProbe {
+		return outcome
 	}
+	// The probe mutates memory-system counters even when rejected, so a
+	// cycle that reaches it is never skippable.
+	c.progressed = true
 	res := c.mem.Load(d.Addr)
 	if !res.OK {
 		if res.Stall == mem.StallMSHR {
@@ -301,9 +465,8 @@ func (c *Core) tryLoad(ctx *Context, d *DynInst) loadOutcome {
 			// certainly miss. Mark its destination now so consumers
 			// blocked on it are classified (and sampled) as memory
 			// stalls rather than FU stalls.
-			file := isa.DestUnit(&d.Inst)
-			if !ctx.Meta[file][d.PDest].MissedLoad {
-				ctx.Meta[file][d.PDest] = regMeta{MissedLoad: true}
+			if !ctx.Meta[d.DestFile][d.PDest].MissedLoad {
+				ctx.Meta[d.DestFile][d.PDest] = regMeta{MissedLoad: true}
 			}
 		}
 		return loadRetry
@@ -316,15 +479,15 @@ func (c *Core) tryLoad(ctx *Context, d *DynInst) loadOutcome {
 // per-register metadata driving stall classification and the
 // perceived-latency samples.
 func (c *Core) completeLoad(ctx *Context, d *DynInst, readyAt int64, miss bool) {
+	c.progressed = true
 	d.Sent = true
 	d.Missed = miss
 	d.DoneAt = readyAt
-	file := isa.DestUnit(&d.Inst)
-	ctx.file(file).SetReadyAt(d.PDest, readyAt)
+	ctx.file(d.DestFile).SetReadyAt(d.PDest, readyAt)
 	if miss {
 		// Preserve the Sampled flag: a consumer may already have flushed
 		// its sample while the access was queued on a full MSHR file.
-		ctx.Meta[file][d.PDest].MissedLoad = true
+		ctx.Meta[d.DestFile][d.PDest].MissedLoad = true
 	}
 }
 
@@ -344,8 +507,10 @@ func overlaps(ld, st *DynInst) bool {
 // dispatch with back-pressure).
 func (c *Core) dispatch() {
 	budget := c.cfg.DispatchWidth
+	t := c.rotStart()
 	for k := 0; k < len(c.ctxs) && budget > 0; k++ {
-		ctx := c.ctxs[(c.rotate+k)%len(c.ctxs)]
+		ctx := c.ctxs[t]
+		t = c.rotNext(t)
 		for budget > 0 {
 			d, ok := ctx.FetchBuf.Peek()
 			if !ok {
@@ -356,6 +521,7 @@ func (c *Core) dispatch() {
 				break
 			}
 			ctx.FetchBuf.Pop()
+			c.progressed = true
 			budget--
 		}
 	}
@@ -377,7 +543,7 @@ func (c *Core) tryDispatch(ctx *Context, d *DynInst) bool {
 	if d.IsStore() && ctx.SAQ.Full() {
 		return false
 	}
-	destFile := isa.DestUnit(&d.Inst)
+	destFile := d.DestFile
 	if d.Dest.Valid() && ctx.file(destFile).FreeCount() == 0 {
 		return false
 	}
@@ -417,8 +583,10 @@ func (c *Core) tryDispatch(ctx *Context, d *DynInst) bool {
 // limit, or a misprediction (which freezes the thread until resolution).
 func (c *Core) fetch() {
 	c.fetchPick = c.fetchPick[:0]
+	rot := c.rotStart()
 	for k := 0; k < len(c.ctxs); k++ {
-		t := (c.rotate + k) % len(c.ctxs)
+		t := rot
+		rot = c.rotNext(rot)
 		ctx := c.ctxs[t]
 		if ctx.FetchBlocked != nil || c.now < ctx.FetchResumeAt || ctx.FetchBuf.Full() {
 			continue
@@ -445,6 +613,21 @@ func (c *Core) fetch() {
 	for _, t := range c.fetchPick[:n] {
 		c.fetchThread(c.ctxs[t])
 	}
+	// Fetch is the one rotation-sensitive stage: an eligible thread left
+	// unpicked this cycle (FetchThreads limit) whose head is actually
+	// fetchable will be picked within the next few rotations, so the
+	// following cycles are not identical to this one even if nothing else
+	// happens — forbid skipping. A thread whose head is a branch at the
+	// speculation limit stays unfetchable until a resolution event and
+	// does not block fast-forwarding.
+	for _, t := range c.fetchPick[n:] {
+		ctx := c.ctxs[t]
+		if in, ok := ctx.peekSource(); ok &&
+			!(in.IsBranch() && ctx.Unresolved >= c.cfg.MaxUnresolvedBranches) {
+			c.progressed = true
+			return
+		}
+	}
 }
 
 // fetchThread fetches up to FetchWidth instructions for one thread.
@@ -468,7 +651,9 @@ func (c *Core) fetchThread(ctx *Context) {
 		d.Seq = ctx.NextSeq
 		ctx.NextSeq++
 		d.Unit = isa.Steer(&d.Inst)
+		d.DestFile = isa.DestUnit(&d.Inst)
 		ctx.FetchBuf.Push(d)
+		c.progressed = true
 		c.col.FetchedInsts++
 
 		if d.IsBranch() {

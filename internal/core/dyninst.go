@@ -3,12 +3,15 @@ package core
 import (
 	"repro/internal/isa"
 	"repro/internal/regfile"
+	"repro/internal/stats"
 )
 
 // Never is a cycle count beyond any simulation horizon, used for event
 // times that are not yet known (e.g. a load's completion before the cache
-// has accepted it).
-const Never = int64(1) << 62
+// has accepted it). It aliases the register files' sentinel so the two
+// never diverge; mem.Never is an independent sentinel, but nextEventAt
+// only compares magnitudes, never sentinel identities.
+const Never = regfile.NeverReady
 
 // DynInst is one in-flight dynamic instruction. Instances are pooled per
 // context and recycled at graduation.
@@ -21,6 +24,9 @@ type DynInst struct {
 	Seq int64
 	// Unit is the processing unit the instruction issues in (steering).
 	Unit isa.Unit
+	// DestFile is the unit whose register file hosts the destination
+	// (isa.DestUnit, computed once at fetch).
+	DestFile isa.Unit
 
 	// PDest is the renamed destination register (in DestUnit's file), or
 	// regfile.None.
@@ -55,6 +61,15 @@ type DynInst struct {
 	// Mispredicted marks a branch whose predicted direction was wrong;
 	// the thread's fetch is stalled until it resolves.
 	Mispredicted bool
+
+	// StallUntil caches the earliest cycle a blocked stream head could
+	// become issuable, with StallReason the waste classification that
+	// holds until then. classify consults the cache instead of re-probing
+	// the register files; it is only set when the blocking operand's
+	// delivery time is known (so the classification provably cannot
+	// change earlier).
+	StallUntil  int64
+	StallReason stats.WasteReason
 
 	// MemStall counts cycles this instruction sat at the head of its
 	// issue stream blocked on the operand in BlockPhys while issue slots

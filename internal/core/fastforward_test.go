@@ -1,0 +1,162 @@
+package core
+
+// White-box tests for the fast-forward scheduler's edge cases. The broad
+// stepped-vs-fast equivalence over the paper's figure configurations
+// lives in internal/sim (equiv_test.go); these tests pin down the corner
+// behaviours with hand-built traces: draining inside a skippable stretch,
+// a cycle cap landing inside a skipped interval, and an all-miss
+// single-thread stream (the deepest-stall case).
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// highLatency returns a single-thread Figure-2 machine with a 256-cycle
+// L2, the regime where most cycles are skippable.
+func highLatency() config.Machine {
+	return config.Figure2(1).WithL2Latency(256)
+}
+
+// runPair runs the same machine and trace through Run and RunStepped and
+// requires identical results; it returns the fast core for further
+// assertions.
+func runPair(t *testing.T, m config.Machine, insts []isa.Inst, maxCycles int64) (*Core, *Core) {
+	t.Helper()
+	fast, err := New(m, []trace.Reader{trace.Slice(insts)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped, err := New(m, []trace.Reader{trace.Slice(insts)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, fd := fast.Run(maxCycles)
+	sc, sd := stepped.RunStepped(maxCycles)
+	if fc != sc || fd != sd {
+		t.Fatalf("run mismatch: fast (%d cycles, drained=%v) vs stepped (%d, %v)", fc, fd, sc, sd)
+	}
+	if *fast.Collector() != *stepped.Collector() {
+		t.Fatalf("collector mismatch:\nfast:    %+v\nstepped: %+v", *fast.Collector(), *stepped.Collector())
+	}
+	if fast.Now() != stepped.Now() {
+		t.Fatalf("clock mismatch: %d vs %d", fast.Now(), stepped.Now())
+	}
+	return fast, stepped
+}
+
+// missTrace builds n chains of [missing load -> dependent FP op], each
+// load to a fresh 32-byte line far beyond the previous (every access a
+// primary miss) with the consumer immediately behind it (no independent
+// work to hide the latency).
+func missTrace(n int) []isa.Inst {
+	var insts []isa.Inst
+	for i := 0; i < n; i++ {
+		addr := uint64(0x100000 + i*4096)
+		insts = append(insts,
+			fpLoad(0x40, 8, 1, addr),
+			fpOp(0x44, 0, 0, 8),
+		)
+	}
+	return insts
+}
+
+// TestFastForwardDoneDuringSkip drains the machine off the tail of a
+// skippable stall: after the last load is in flight nothing can happen
+// until its refill, and the machine is done shortly after. The skip must
+// neither overshoot the drain point nor change any statistic.
+func TestFastForwardDoneDuringSkip(t *testing.T) {
+	fast, _ := runPair(t, highLatency(), missTrace(1), 1_000_000)
+	if fast.SkippedCycles() == 0 {
+		t.Fatal("expected the load's miss latency to be skipped")
+	}
+	if !fast.Done() {
+		t.Fatal("machine did not drain")
+	}
+}
+
+// TestFastForwardMaxCyclesInsideSkip lands the cycle cap inside a
+// skipped interval: the fast run must stop on exactly the capped cycle
+// with exactly the accounting stepping produces.
+func TestFastForwardMaxCyclesInsideSkip(t *testing.T) {
+	for _, maxCycles := range []int64{10, 40, 100, 200} {
+		fast, _ := runPair(t, highLatency(), missTrace(1), maxCycles)
+		if fast.Done() {
+			t.Fatalf("maxCycles=%d: machine unexpectedly drained", maxCycles)
+		}
+		if got := fast.Now(); got != maxCycles {
+			t.Fatalf("maxCycles=%d: stopped at cycle %d", maxCycles, got)
+		}
+		if got := fast.Collector().Cycles; got != maxCycles {
+			t.Fatalf("maxCycles=%d: collector counted %d cycles", maxCycles, got)
+		}
+	}
+}
+
+// TestFastForwardAllMissSingleThread is the all-miss stress in both
+// shapes. Independent misses overlap in the lockup-free cache, so fills
+// land every few bus cycles and events stay dense (few long skips);
+// a serial gather chain — every load's address depends on the previous
+// load's data — exposes the full L2 latency between events and must be
+// mostly skipped. Both must match stepping bit for bit.
+func TestFastForwardAllMissSingleThread(t *testing.T) {
+	// Independent misses: equivalence under dense fill events.
+	fast, _ := runPair(t, highLatency(), missTrace(40), 1_000_000)
+	col := fast.Collector()
+	if col.Graduated != 80 {
+		t.Fatalf("graduated %d, want 80", col.Graduated)
+	}
+	// Sanity: the stalls were charged to memory waste, not idle/FU.
+	if col.Slots[isa.EP].Wasted[1] == 0 { // stats.WasteMem
+		t.Fatal("no memory-wait slots recorded on the EP")
+	}
+
+	// Serial gather chain: each load consumes the previous one's result.
+	var chain []isa.Inst
+	for i := 0; i < 40; i++ {
+		chain = append(chain,
+			intLoad(0x60, 13, 13, uint64(0x400000+i*4096)),
+			intOp(0x64, 5, 13, 13),
+		)
+	}
+	fast, _ = runPair(t, highLatency(), chain, 1_000_000)
+	col = fast.Collector()
+	if frac := float64(fast.SkippedCycles()) / float64(col.Cycles); frac < 0.5 {
+		t.Fatalf("skipped only %.0f%% of a serial all-miss chain", 100*frac)
+	}
+}
+
+// TestFastForwardBranchMispredictStall covers skips bounded by branch
+// resolution and the post-redirect fetch resume: a mispredict-heavy
+// trace must stay bit-identical under fast-forwarding.
+func TestFastForwardBranchMispredictStall(t *testing.T) {
+	var insts []isa.Inst
+	for i := 0; i < 300; i++ {
+		insts = append(insts,
+			intLoad(0x10, 13, 1, uint64(0x200000+i*4096)),
+			intOp(0x14, 5, 13, 13),    // consume the missing load
+			brInst(0x18, 5, i%2 == 0), // alternating, BHT-hostile
+		)
+	}
+	runPair(t, highLatency(), insts, 2_000_000)
+}
+
+// TestFastForwardStoreConflictStall covers the load-behind-conflicting-
+// store retry path, whose per-cycle conflict counter must replay exactly
+// during skips (the store's data arrives from a missing load).
+func TestFastForwardStoreConflictStall(t *testing.T) {
+	var insts []isa.Inst
+	for i := 0; i < 50; i++ {
+		base := uint64(0x300000 + i*4096)
+		insts = append(insts,
+			fpLoad(0x20, 8, 1, base),      // misses; produces store data
+			fpStore(0x24, 8, 2, base+512), // waits on the load's data
+			fpLoad(0x28, 9, 1, base+512),  // conflicts with the store
+			fpOp(0x2c, 0, 0, 9),
+		)
+	}
+	runPair(t, highLatency(), insts, 2_000_000)
+}

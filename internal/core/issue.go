@@ -15,6 +15,9 @@ import (
 // issues strictly in program order across both units — the degenerate
 // machine of the paper with the instruction queues disabled.
 func (c *Core) issue() {
+	c.reasonBuf[isa.AP] = c.reasonBuf[isa.AP][:0]
+	c.reasonBuf[isa.EP] = c.reasonBuf[isa.EP][:0]
+	c.memStallBuf = c.memStallBuf[:0]
 	shared := c.cfg.SharedFUs
 	if shared <= 0 {
 		shared = 1 << 30 // effectively unlimited: private per-unit FUs
@@ -29,20 +32,33 @@ func (c *Core) issue() {
 // issueDecoupled walks the AP streams then the EP streams.
 func (c *Core) issueDecoupled(shared int) {
 	apSlots, epSlots := c.cfg.APWidth, c.cfg.EPWidth
-	c.reasonBuf[isa.AP] = c.reasonBuf[isa.AP][:0]
-	c.reasonBuf[isa.EP] = c.reasonBuf[isa.EP][:0]
 
-	for _, t := range c.threadOrder(isa.AP) {
-		if apSlots <= 0 || shared <= 0 {
-			break
+	if c.cfg.IssuePolicy != config.IssueOldestFirst {
+		// Round-robin: walk the rotation directly, no order buffer.
+		n := len(c.ctxs)
+		t := c.rotStart()
+		for k := 0; k < n && apSlots > 0 && shared > 0; k++ {
+			c.issueStream(c.ctxs[t], isa.AP, &apSlots, &shared)
+			t = c.rotNext(t)
 		}
-		c.issueStream(c.ctxs[t], isa.AP, &apSlots, &shared)
-	}
-	for _, t := range c.threadOrder(isa.EP) {
-		if epSlots <= 0 || shared <= 0 {
-			break
+		t = c.rotStart()
+		for k := 0; k < n && epSlots > 0 && shared > 0; k++ {
+			c.issueStream(c.ctxs[t], isa.EP, &epSlots, &shared)
+			t = c.rotNext(t)
 		}
-		c.issueStream(c.ctxs[t], isa.EP, &epSlots, &shared)
+	} else {
+		for _, t := range c.threadOrder(isa.AP) {
+			if apSlots <= 0 || shared <= 0 {
+				break
+			}
+			c.issueStream(c.ctxs[t], isa.AP, &apSlots, &shared)
+		}
+		for _, t := range c.threadOrder(isa.EP) {
+			if epSlots <= 0 || shared <= 0 {
+				break
+			}
+			c.issueStream(c.ctxs[t], isa.EP, &epSlots, &shared)
+		}
 	}
 	c.accountSlots(isa.AP, c.cfg.APWidth, apSlots)
 	c.accountSlots(isa.EP, c.cfg.EPWidth, epSlots)
@@ -54,8 +70,10 @@ func (c *Core) issueDecoupled(shared int) {
 func (c *Core) threadOrder(unit isa.Unit) []int {
 	n := len(c.ctxs)
 	order := c.orderBuf[:0]
+	t := c.rotStart()
 	for k := 0; k < n; k++ {
-		order = append(order, (c.rotate+k)%n)
+		order = append(order, t)
+		t = c.rotNext(t)
 	}
 	if c.cfg.IssuePolicy != config.IssueOldestFirst {
 		c.orderBuf = order
@@ -97,6 +115,10 @@ func (c *Core) issueStream(ctx *Context, unit isa.Unit, slots, shared *int) {
 			c.record(unit, stats.WasteIdle)
 			return
 		}
+		if c.now < d.StallUntil {
+			c.record(unit, c.stalledVerdict(d))
+			return
+		}
 		reason, ready := c.classify(ctx, d)
 		if !ready {
 			c.record(unit, reason)
@@ -115,8 +137,6 @@ func (c *Core) issueStream(ctx *Context, unit isa.Unit, slots, shared *int) {
 // issue (operands, unit width, or shared FU budget).
 func (c *Core) issueMerged(shared int) {
 	apSlots, epSlots := c.cfg.APWidth, c.cfg.EPWidth
-	c.reasonBuf[isa.AP] = c.reasonBuf[isa.AP][:0]
-	c.reasonBuf[isa.EP] = c.reasonBuf[isa.EP][:0]
 
 	for _, t := range c.threadOrder(isa.AP) {
 		if (apSlots <= 0 && epSlots <= 0) || shared <= 0 {
@@ -145,6 +165,12 @@ func (c *Core) issueMerged(shared int) {
 					other = isa.EP
 				}
 				c.record(other, stats.WasteOther)
+				break walk
+			}
+			if c.now < d.StallUntil {
+				reason := c.stalledVerdict(d)
+				c.record(isa.AP, reason)
+				c.record(isa.EP, reason)
 				break walk
 			}
 			reason, ready := c.classify(ctx, d)
@@ -191,12 +217,36 @@ func (c *Core) classify(ctx *Context, d *DynInst) (stats.WasteReason, bool) {
 	// (Src1) joins at graduation via the SAQ. Everything else needs all
 	// sources.
 	if !d.IsStore() && d.PSrc1 != regfile.None && !ctx.file(d.Src1File).Ready(d.PSrc1, c.now) {
-		return c.blockOn(ctx, d, d.PSrc1, d.Src1File), false
+		return c.block(ctx, d, d.PSrc1, d.Src1File), false
 	}
 	if d.PSrc2 != regfile.None && !ctx.file(d.Src2File).Ready(d.PSrc2, c.now) {
-		return c.blockOn(ctx, d, d.PSrc2, d.Src2File), false
+		return c.block(ctx, d, d.PSrc2, d.Src2File), false
 	}
 	return 0, true
+}
+
+// stalledVerdict repeats a cached classification: the blocking operand
+// cannot arrive before d.StallUntil, so the verdict — and blockOn's
+// per-cycle accounting for the unchanged blocker — repeats verbatim.
+func (c *Core) stalledVerdict(d *DynInst) stats.WasteReason {
+	if d.StallReason == stats.WasteMem {
+		d.MemStall++
+		c.memStallBuf = append(c.memStallBuf, d)
+	}
+	return d.StallReason
+}
+
+// block classifies a blocked head via blockOn and, when the operand's
+// delivery time is already known, caches the verdict until that cycle.
+// An unknown delivery time (a load the cache has not accepted) cannot be
+// cached: it may resolve to any cycle.
+func (c *Core) block(ctx *Context, d *DynInst, p regfile.PhysReg, file isa.Unit) stats.WasteReason {
+	reason := c.blockOn(ctx, d, p, file)
+	if until := ctx.file(file).ReadyAt(p); until != regfile.NeverReady {
+		d.StallUntil = until
+		d.StallReason = reason
+	}
+	return reason
 }
 
 // blockOn classifies a not-ready operand and accrues the head's memory
@@ -213,6 +263,7 @@ func (c *Core) blockOn(ctx *Context, d *DynInst, p regfile.PhysReg, file isa.Uni
 		d.MemStall = 0
 	}
 	d.MemStall++
+	c.memStallBuf = append(c.memStallBuf, d)
 	return stats.WasteMem
 }
 
@@ -245,6 +296,7 @@ func (c *Core) addPerceived(file isa.Unit, cycles int64) {
 // register-ready times, starts memory accesses and branch resolution, and
 // takes the perceived-latency samples for consumed missed loads.
 func (c *Core) execute(ctx *Context, d *DynInst) {
+	c.progressed = true
 	d.Issued = true
 	d.IssueAt = c.now
 
@@ -260,6 +312,9 @@ func (c *Core) execute(ctx *Context, d *DynInst) {
 		d.DoneAt = d.AccessAt // address computed; data joins at graduation
 	case isa.OpBranch:
 		d.DoneAt = c.now + c.cfg.APLatency
+		if d.DoneAt < ctx.nextBranchResolveAt {
+			ctx.nextBranchResolveAt = d.DoneAt
+		}
 	default:
 		lat := c.cfg.APLatency
 		if d.Unit == isa.EP {
@@ -267,7 +322,7 @@ func (c *Core) execute(ctx *Context, d *DynInst) {
 		}
 		d.DoneAt = c.now + lat
 		if d.PDest != regfile.None {
-			ctx.file(isa.DestUnit(&d.Inst)).SetReadyAt(d.PDest, d.DoneAt)
+			ctx.file(d.DestFile).SetReadyAt(d.PDest, d.DoneAt)
 		}
 	}
 }

@@ -140,6 +140,10 @@ type mshr struct {
 	valid bool
 }
 
+// Never is an event time beyond any simulation horizon, returned by
+// NextEventAt when no refill is pending.
+const Never = int64(1) << 62
+
 // System is the memory subsystem. Create with New; not safe for concurrent
 // use (the simulator is single-goroutine by design).
 type System struct {
@@ -147,6 +151,16 @@ type System struct {
 	l1    *cache.Cache
 	bus   *bus.Bus
 	mshrs []mshr
+
+	// mshrsInUse counts valid entries and nextFill caches their earliest
+	// fill time (Never when none), so the per-cycle BeginCycle scan only
+	// runs on cycles a refill actually completes.
+	mshrsInUse int
+	nextFill   int64
+	// lineIdx maps a pending line to its MSHR index and freeIdx stacks
+	// the free indices, replacing the per-access linear scans.
+	lineIdx map[uint64]int
+	freeIdx []int
 
 	now       int64
 	portsUsed int
@@ -159,12 +173,20 @@ func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &System{
-		cfg:   cfg,
-		l1:    cache.New(cfg.L1),
-		bus:   bus.New(cfg.BusBytesPerCycle),
-		mshrs: make([]mshr, cfg.MSHRs),
-	}, nil
+	s := &System{
+		cfg:      cfg,
+		l1:       cache.New(cfg.L1),
+		bus:      bus.New(cfg.BusBytesPerCycle),
+		mshrs:    make([]mshr, cfg.MSHRs),
+		nextFill: Never,
+		lineIdx:  make(map[uint64]int, cfg.MSHRs),
+		freeIdx:  make([]int, 0, cfg.MSHRs),
+	}
+	// Pop order is ascending index for determinism.
+	for i := cfg.MSHRs - 1; i >= 0; i-- {
+		s.freeIdx = append(s.freeIdx, i)
+	}
+	return s, nil
 }
 
 // Config returns the configuration.
@@ -180,27 +202,44 @@ func (s *System) Cache() *cache.Cache { return s.l1 }
 func (s *System) Stats() Stats { return s.stats }
 
 // MSHRsInUse returns the number of occupied MSHRs.
-func (s *System) MSHRsInUse() int {
-	n := 0
-	for i := range s.mshrs {
-		if s.mshrs[i].valid {
-			n++
-		}
+func (s *System) MSHRsInUse() int { return s.mshrsInUse }
+
+// NextEventAt returns the earliest cycle strictly after now at which a
+// pending refill completes (installing a line and freeing its MSHR), or
+// Never when no miss is outstanding. The core's fast-forward uses it to
+// bound cycle skips.
+func (s *System) NextEventAt(now int64) int64 {
+	if s.nextFill > now {
+		return s.nextFill
 	}
-	return n
+	// A fill due at or before now is an immediate event (the next
+	// BeginCycle installs it); report the following cycle.
+	return now + 1
 }
 
 // BeginCycle advances the subsystem to the given cycle: it releases the
 // access ports and completes any refills whose data has arrived,
 // installing lines in L1 (write-backs of dirty victims reserve bus
-// bandwidth) and freeing their MSHRs.
-func (s *System) BeginCycle(now int64) {
+// bandwidth) and freeing their MSHRs. It returns the number of lines
+// installed, which is zero on quiescent cycles.
+func (s *System) BeginCycle(now int64) int {
 	s.now = now
 	s.portsUsed = 0
+	if s.nextFill > now {
+		return 0 // no refill due: skip the MSHR scan
+	}
 	lineBytes := s.cfg.L1.LineBytes
+	filled := 0
+	next := Never
 	for i := range s.mshrs {
 		e := &s.mshrs[i]
-		if !e.valid || e.fill > now {
+		if !e.valid {
+			continue
+		}
+		if e.fill > now {
+			if e.fill < next {
+				next = e.fill
+			}
 			continue
 		}
 		victim := s.l1.Fill(e.line)
@@ -208,31 +247,25 @@ func (s *System) BeginCycle(now int64) {
 			s.l1.SetDirty(e.line)
 		}
 		s.stats.Fills++
+		filled++
 		if victim.Valid && victim.Dirty {
 			// The write-back occupies the data bus for one line transfer.
 			s.bus.Reserve(now, s.bus.TransferCycles(lineBytes))
 			s.stats.Writebacks++
 		}
 		e.valid = false
+		s.mshrsInUse--
+		delete(s.lineIdx, e.line)
+		s.freeIdx = append(s.freeIdx, i)
 	}
+	s.nextFill = next
+	return filled
 }
 
 // findMSHR returns the pending entry for line, if any.
 func (s *System) findMSHR(line uint64) *mshr {
-	for i := range s.mshrs {
-		if s.mshrs[i].valid && s.mshrs[i].line == line {
-			return &s.mshrs[i]
-		}
-	}
-	return nil
-}
-
-// freeMSHR returns a free entry, if any.
-func (s *System) freeMSHR() *mshr {
-	for i := range s.mshrs {
-		if !s.mshrs[i].valid {
-			return &s.mshrs[i]
-		}
+	if i, ok := s.lineIdx[line]; ok {
+		return &s.mshrs[i]
 	}
 	return nil
 }
@@ -264,11 +297,14 @@ func (s *System) access(addr uint64, isStore bool) Result {
 		}
 		return Result{OK: true, ReadyAt: e.fill, Miss: true}
 	}
-	e := s.freeMSHR()
-	if e == nil {
+	if len(s.freeIdx) == 0 {
 		s.stats.MSHRRejects++
 		return Result{Stall: StallMSHR}
 	}
+	idx := s.freeIdx[len(s.freeIdx)-1]
+	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
+	e := &s.mshrs[idx]
+	s.lineIdx[line] = idx
 	s.portsUsed++
 	s.count(isStore, true)
 	// Tag probe (hit latency), one cycle for the request on the address/
@@ -280,6 +316,10 @@ func (s *System) access(addr uint64, isStore bool) Result {
 	l2Done := reqDone + s.cfg.L2Latency
 	fill := s.bus.Reserve(l2Done, s.bus.TransferCycles(s.cfg.L1.LineBytes))
 	*e = mshr{line: line, fill: fill, dirty: isStore, valid: true}
+	s.mshrsInUse++
+	if fill < s.nextFill {
+		s.nextFill = fill
+	}
 	return Result{OK: true, ReadyAt: fill, Miss: true}
 }
 

@@ -44,13 +44,23 @@ func (r *Ring[T]) Full() bool { return r.size == len(r.buf) }
 // Free returns the number of unoccupied slots.
 func (r *Ring[T]) Free() int { return len(r.buf) - r.size }
 
+// wrap folds an index in [0, 2·cap) back into the buffer. Indexes only
+// ever overshoot by less than one capacity, so a conditional subtract
+// replaces the modulo division in the simulator's hottest loops.
+func (r *Ring[T]) wrap(i int) int {
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	return i
+}
+
 // Push appends v to the tail. It reports whether the push succeeded; a
 // full queue rejects the push (modelling stage back-pressure).
 func (r *Ring[T]) Push(v T) bool {
 	if r.Full() {
 		return false
 	}
-	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.buf[r.wrap(r.head+r.size)] = v
 	r.size++
 	return true
 }
@@ -64,7 +74,7 @@ func (r *Ring[T]) Pop() (T, bool) {
 	}
 	v := r.buf[r.head]
 	r.buf[r.head] = zero // release references for GC
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = r.wrap(r.head + 1)
 	r.size--
 	return v, true
 }
@@ -85,7 +95,23 @@ func (r *Ring[T]) At(i int) T {
 	if i < 0 || i >= r.size {
 		panic(fmt.Sprintf("queue: index %d out of range (len %d)", i, r.size))
 	}
-	return r.buf[(r.head+i)%len(r.buf)]
+	return r.buf[r.wrap(r.head+i)]
+}
+
+// Scan calls f on each element from head to tail until f returns false.
+// Unlike an At loop it performs no per-element bounds check or modulo,
+// which matters in the simulator's per-cycle queue walks.
+func (r *Ring[T]) Scan(f func(T) bool) {
+	i := r.head
+	for n := 0; n < r.size; n++ {
+		if !f(r.buf[i]) {
+			return
+		}
+		i++
+		if i == len(r.buf) {
+			i = 0
+		}
+	}
 }
 
 // Set overwrites the element at queue position i (0 = head). It panics if
@@ -94,14 +120,14 @@ func (r *Ring[T]) Set(i int, v T) {
 	if i < 0 || i >= r.size {
 		panic(fmt.Sprintf("queue: index %d out of range (len %d)", i, r.size))
 	}
-	r.buf[(r.head+i)%len(r.buf)] = v
+	r.buf[r.wrap(r.head+i)] = v
 }
 
 // Clear empties the queue, releasing element references.
 func (r *Ring[T]) Clear() {
 	var zero T
 	for i := 0; i < r.size; i++ {
-		r.buf[(r.head+i)%len(r.buf)] = zero
+		r.buf[r.wrap(r.head+i)] = zero
 	}
 	r.head, r.size = 0, 0
 }

@@ -224,3 +224,36 @@ func BenchmarkPushPop(b *testing.B) {
 		}
 	}
 }
+
+func TestScanVisitsHeadToTail(t *testing.T) {
+	q := New[int](4)
+	// Wrap the ring: push 4, pop 2, push 2 more so elements straddle the
+	// buffer end.
+	for i := 0; i < 4; i++ {
+		q.Push(i)
+	}
+	q.Pop()
+	q.Pop()
+	q.Push(4)
+	q.Push(5)
+	var got []int
+	q.Scan(func(v int) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []int{2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scanned %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	q.Scan(func(int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early-stop scan visited %d elements", n)
+	}
+}

@@ -20,16 +20,24 @@ const None PhysReg = -1
 // Valid reports whether p names a register.
 func (p PhysReg) Valid() bool { return p >= 0 }
 
-// neverReady is a ready time beyond any simulated cycle, used for
+// NeverReady is a ready time beyond any simulated cycle, used for
 // registers whose producing instruction has not yet computed its result
 // delivery time (e.g. a load that has not been accepted by the cache).
-const neverReady = int64(1) << 62
+// ReadyAt returns it for such registers.
+const NeverReady = int64(1) << 62
 
 // File is a physical register file. Create with New.
 type File struct {
 	readyAt []int64
 	free    []PhysReg // stack of free registers
+	inFree  []bool    // per-register free-list membership (O(1) double-free check)
 	inUse   int
+
+	// nextCache memoizes NextReadyAfter: while the cached cycle is still
+	// in the future it remains the exact minimum (ready times only change
+	// through SetReadyAt, which folds in below), so the scan reruns only
+	// after the cached event has passed.
+	nextCache int64
 }
 
 // New returns a file with n physical registers, all free. n must be
@@ -39,12 +47,15 @@ func New(n int) *File {
 		panic(fmt.Sprintf("regfile: size %d must be positive", n))
 	}
 	f := &File{
-		readyAt: make([]int64, n),
-		free:    make([]PhysReg, n),
+		readyAt:   make([]int64, n),
+		free:      make([]PhysReg, n),
+		inFree:    make([]bool, n),
+		nextCache: 0, // 0 = immediately stale: first query scans
 	}
 	// Pop order is ascending register number for determinism.
 	for i := 0; i < n; i++ {
 		f.free[i] = PhysReg(n - 1 - i)
+		f.inFree[i] = true
 	}
 	return f
 }
@@ -67,7 +78,8 @@ func (f *File) Alloc() (PhysReg, bool) {
 	}
 	p := f.free[len(f.free)-1]
 	f.free = f.free[:len(f.free)-1]
-	f.readyAt[p] = neverReady
+	f.inFree[p] = false
+	f.readyAt[p] = NeverReady
 	f.inUse++
 	return p, true
 }
@@ -77,7 +89,7 @@ func (f *File) Alloc() (PhysReg, bool) {
 func (f *File) AllocReady(cycle int64) (PhysReg, bool) {
 	p, ok := f.Alloc()
 	if ok {
-		f.readyAt[p] = cycle
+		f.SetReadyAt(p, cycle)
 	}
 	return p, ok
 }
@@ -90,11 +102,10 @@ func (f *File) Free(p PhysReg) {
 		return
 	}
 	f.check(p)
-	for _, q := range f.free {
-		if q == p {
-			panic(fmt.Sprintf("regfile: double free of p%d", p))
-		}
+	if f.inFree[p] {
+		panic(fmt.Sprintf("regfile: double free of p%d", p))
 	}
+	f.inFree[p] = true
 	f.free = append(f.free, p)
 	f.inUse--
 }
@@ -103,6 +114,11 @@ func (f *File) Free(p PhysReg) {
 func (f *File) SetReadyAt(p PhysReg, cycle int64) {
 	f.check(p)
 	f.readyAt[p] = cycle
+	if cycle < f.nextCache {
+		// The new delivery may undercut the cached minimum. If it is
+		// already past at the next query, the staleness check rescans.
+		f.nextCache = cycle
+	}
 }
 
 // ReadyAt returns the cycle p's value becomes available (a very large
@@ -110,6 +126,28 @@ func (f *File) SetReadyAt(p PhysReg, cycle int64) {
 func (f *File) ReadyAt(p PhysReg) int64 {
 	f.check(p)
 	return f.readyAt[p]
+}
+
+// NextReadyAfter returns the earliest ReadyAt strictly after now across
+// the whole file, or the not-yet-known sentinel when no register's value
+// is scheduled to arrive. Registers on the free list retain stale (past)
+// ready times and so never contribute; the result is the lower bound the
+// core's fast-forward uses for operand-arrival events.
+func (f *File) NextReadyAfter(now int64) int64 {
+	// While the cached minimum is still in the future it is exact: all
+	// ready times > now are a subset of those seen by the cached scan,
+	// and the cached minimum itself is among them.
+	if f.nextCache > now {
+		return f.nextCache
+	}
+	next := int64(NeverReady)
+	for _, at := range f.readyAt {
+		if at > now && at < next {
+			next = at
+		}
+	}
+	f.nextCache = next
+	return next
 }
 
 // Ready reports whether p's value is available at cycle now. The absent

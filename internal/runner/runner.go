@@ -104,6 +104,9 @@ type Runner struct {
 	mu       sync.Mutex
 	inflight map[string]*call
 	stats    Stats
+	// hashes records, per job hash, the content hash of the result this
+	// runner produced or served (see WriteHashes — the determinism gate).
+	hashes map[string]resultHash
 }
 
 // New builds a Runner.
@@ -249,6 +252,7 @@ func (r *Runner) runJob(j Job) Result {
 		r.mu.Lock()
 		r.stats.CacheHits++
 		r.mu.Unlock()
+		r.recordHash(h, j.Key, rep)
 		return Result{Job: j, Hash: h, Report: rep, Cached: true}
 	}
 
@@ -264,6 +268,9 @@ func (r *Runner) runJob(j Job) Result {
 			r.stats.CacheHits++
 		}
 		r.mu.Unlock()
+		if c.err == nil {
+			r.recordHash(h, j.Key, c.rep)
+		}
 		return res
 	}
 	// Re-check under the lock: a duplicate may have completed (and
@@ -272,6 +279,7 @@ func (r *Runner) runJob(j Job) Result {
 	if rep, ok := r.cache.get(h); ok {
 		r.stats.CacheHits++
 		r.mu.Unlock()
+		r.recordHash(h, j.Key, rep)
 		return Result{Job: j, Hash: h, Report: rep, Cached: true}
 	}
 	c := &call{done: make(chan struct{})}
@@ -297,6 +305,9 @@ func (r *Runner) runJob(j Job) Result {
 		}
 	}
 	r.mu.Unlock()
+	if err == nil {
+		r.recordHash(h, j.Key, rep)
+	}
 	return Result{Job: j, Hash: h, Report: rep, Err: err}
 }
 

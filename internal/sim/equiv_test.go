@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The golden equivalence suite: the fast-forward scheduler must produce
+// results bit-identical to cycle-by-cycle stepping — same cycle counts,
+// same IPC, same (float) waste buckets, same memory counters — for every
+// machine the paper's figures sweep. Reports are compared with ==, which
+// for float fields is exact bit equality.
+
+// shortBudget mirrors experiments.ShortBudget per thread.
+const (
+	shortWarmup  = 2_000
+	shortMeasure = 8_000
+)
+
+// mixSources builds the Section-3 mix streams for t threads.
+func mixSources(t *testing.T, threads int, seed uint64) []trace.Reader {
+	t.Helper()
+	return workload.MixSources(threads, workload.MixOpts{Seed: seed})
+}
+
+// benchSources builds per-thread copies of one named benchmark.
+func benchSources(t *testing.T, name string, threads int, seed uint64) []trace.Reader {
+	t.Helper()
+	b, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]trace.Reader, threads)
+	for i := 0; i < threads; i++ {
+		srcs[i] = b.NewReader(workload.ReaderOpts{
+			AddrOffset: workload.ThreadAddrOffset(i),
+			Seed:       seed + uint64(i),
+		})
+	}
+	return srcs
+}
+
+// runBoth runs the same configuration in stepped and fast-forward mode
+// and fails the test on any difference between the two results.
+func runBoth(t *testing.T, name string, opts Options, sources func() []trace.Reader) Result {
+	t.Helper()
+	opts.Sources = sources()
+	opts.Stepped = true
+	stepped, err := Run(opts)
+	if err != nil {
+		t.Fatalf("%s: stepped run: %v", name, err)
+	}
+	opts.Sources = sources()
+	opts.Stepped = false
+	fast, err := Run(opts)
+	if err != nil {
+		t.Fatalf("%s: fast run: %v", name, err)
+	}
+	if fast != stepped {
+		t.Errorf("%s: fast-forward diverged from stepping\nstepped: %+v\nfast:    %+v", name, stepped, fast)
+	}
+	return fast
+}
+
+// TestEquivalenceFigureConfigs covers one machine per figure of the
+// paper: the Section-2 single-threaded machine of Figure 1, the Figure-3
+// thread sweep, Figure 4's decoupled/non-decoupled latency-tolerance
+// pair, and a Figure-5 many-context point — each across the latency
+// extremes where fast-forwarding matters most.
+func TestEquivalenceFigureConfigs(t *testing.T) {
+	type cfg struct {
+		name    string
+		machine config.Machine
+		threads int
+		bench   string // "" = mix
+	}
+	var cases []cfg
+	// Figure 1: Section-2 machine, per-benchmark runs, swept L2 latency.
+	for _, bench := range []string{"swim", "fpppp"} {
+		for _, lat := range []int64{16, 256} {
+			cases = append(cases, cfg{
+				name:    "fig1/" + bench,
+				machine: config.Section2().WithL2Latency(lat),
+				threads: 1,
+				bench:   bench,
+			})
+		}
+	}
+	// Figure 3: the multithreaded machine's thread axis at L2=16.
+	for threads := 1; threads <= 4; threads++ {
+		cases = append(cases, cfg{name: "fig3", machine: config.Figure2(threads), threads: threads})
+	}
+	// Figure 4: latency tolerance, both issue models at a high latency.
+	cases = append(cases,
+		cfg{name: "fig4/dec", machine: config.Figure2(4).WithL2Latency(256), threads: 4},
+		cfg{name: "fig4/nondec", machine: config.Figure2(4).WithL2Latency(256).NonDecoupled(), threads: 4},
+	)
+	// Figure 5: thread requirements — more contexts, longer latency.
+	cases = append(cases,
+		cfg{name: "fig5/dec", machine: config.Figure2(8).WithL2Latency(64), threads: 8},
+		cfg{name: "fig5/nondec", machine: config.Figure2(8).WithL2Latency(64).NonDecoupled(), threads: 8},
+	)
+
+	for _, c := range cases {
+		opts := Options{
+			Machine:      c.machine,
+			WarmupInsts:  shortWarmup * int64(c.threads),
+			MeasureInsts: shortMeasure * int64(c.threads),
+		}
+		label := c.name
+		if c.bench != "" {
+			label += "/" + c.bench
+		}
+		src := func() []trace.Reader { return mixSources(t, c.threads, 0) }
+		if c.bench != "" {
+			bench, threads := c.bench, c.threads
+			src = func() []trace.Reader { return benchSources(t, bench, threads, 0) }
+		}
+		runBoth(t, label, opts, src)
+	}
+}
+
+// TestEquivalenceMaxCyclesInsideSkip pins the cycle cap inside a skipped
+// interval: with a 256-cycle L2 and a budget the machine cannot reach,
+// the stepped run ends mid-stall, and the fast-forwarded run must land on
+// exactly the same cycle with exactly the same accounting.
+func TestEquivalenceMaxCyclesInsideSkip(t *testing.T) {
+	for _, maxCycles := range []int64{50, 333, 1000, 2500} {
+		opts := Options{
+			Machine:      config.Section2().WithL2Latency(256),
+			WarmupInsts:  0,
+			MeasureInsts: 1_000_000_000, // unreachable: the cap decides
+			MaxCycles:    maxCycles,
+		}
+		res := runBoth(t, "maxcycles", opts, func() []trace.Reader {
+			return benchSources(t, "swim", 1, 0)
+		})
+		if res.Completed {
+			t.Fatalf("maxCycles=%d: run unexpectedly completed", maxCycles)
+		}
+		if res.TotalCycles != maxCycles {
+			t.Fatalf("maxCycles=%d: stopped at %d", maxCycles, res.TotalCycles)
+		}
+	}
+}
+
+// TestEquivalencePropertySeeds is the property test: across seeds and
+// workloads, stepped and fast-forwarded runs must produce identical
+// collector snapshots.
+func TestEquivalencePropertySeeds(t *testing.T) {
+	benches := []string{"tomcatv", "su2cor", "hydro2d", "applu", "turb3d"}
+	for seed := uint64(0); seed < 8; seed++ {
+		bench := benches[seed%uint64(len(benches))]
+		threads := 1 + int(seed%3)
+		lat := []int64{1, 32, 128, 256}[seed%4]
+		m := config.Figure2(threads).WithL2Latency(lat)
+		if seed%2 == 1 {
+			m = m.NonDecoupled()
+		}
+		opts := Options{
+			Machine:      m,
+			WarmupInsts:  500 * int64(threads),
+			MeasureInsts: 4_000 * int64(threads),
+		}
+		res := runBoth(t, bench, opts, func() []trace.Reader {
+			return benchSources(t, bench, threads, seed)
+		})
+		if res.Report.Graduated == 0 {
+			t.Fatalf("seed %d: nothing graduated", seed)
+		}
+	}
+}

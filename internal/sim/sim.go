@@ -28,6 +28,11 @@ type Options struct {
 	// MaxCycles caps the total simulation length as a safety net;
 	// zero applies DefaultMaxCycles.
 	MaxCycles int64
+	// Stepped forces cycle-by-cycle simulation, disabling the core's
+	// fast-forward over idle stretches. Results are bit-identical either
+	// way (enforced by the equivalence tests); stepping exists as the
+	// golden reference and for debugging.
+	Stepped bool
 }
 
 // DefaultMaxCycles bounds runaway simulations (deadlock guard).
@@ -54,6 +59,15 @@ func Run(opts Options) (Result, error) {
 	if maxCycles <= 0 {
 		maxCycles = DefaultMaxCycles
 	}
+	// step advances the machine, fast-forwarding over idle stretches
+	// unless stepping was requested. The loop conditions below only depend
+	// on state that is frozen during a skip (graduation counts, Done, the
+	// cycle bound the skip is clamped to), so both modes take the same
+	// path through every window boundary.
+	step := c.Tick
+	if !opts.Stepped {
+		step = func() { c.Step(maxCycles) }
+	}
 
 	// Warm-up window.
 	completed := true
@@ -62,7 +76,7 @@ func Run(opts Options) (Result, error) {
 			completed = false
 			break
 		}
-		c.Tick()
+		step()
 	}
 	// Reset measurement state; machine state (caches, queues, in-flight
 	// instructions) carries over, which is the point of warming up.
@@ -75,7 +89,7 @@ func Run(opts Options) (Result, error) {
 			completed = false
 			break
 		}
-		c.Tick()
+		step()
 	}
 
 	col := *c.Collector()
