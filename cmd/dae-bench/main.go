@@ -1,0 +1,162 @@
+// Command dae-bench runs the core simulation-throughput benchmarks and
+// writes a machine-readable snapshot, so CI can accumulate a performance
+// trajectory across commits (one BENCH_<n>.json artifact per PR).
+//
+//	dae-bench                    # all configs, JSON to stdout
+//	dae-bench -out BENCH_3.json  # write to a file
+//	dae-bench -insts 40000       # quicker, less stable numbers
+//
+// Each record measures one machine configuration in one scheduler mode:
+// ns per run of the instruction budget, simulated cycles and graduated
+// instructions per wall-clock second, and the fraction of cycles the
+// fast-forward scheduler skipped. Modes: "run" is the default
+// event-driven scheduler (Core.Run), "stepped" the cycle-by-cycle
+// reference (Core.RunStepped).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Record is one (config, mode) measurement.
+type Record struct {
+	Config     string  `json:"config"`
+	Mode       string  `json:"mode"`
+	Insts      int64   `json:"insts"`
+	NsPerRun   int64   `json:"ns_per_run"`
+	CyclesPerS float64 `json:"cycles_per_s"`
+	InstsPerS  float64 `json:"insts_per_s"`
+	SkippedPct float64 `json:"skipped_pct"`
+}
+
+// Snapshot is the file format: environment plus all records.
+type Snapshot struct {
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Timestamp string   `json:"timestamp"`
+	Insts     int64    `json:"insts"`
+	Records   []Record `json:"records"`
+}
+
+type benchConfig struct {
+	name    string
+	machine config.Machine
+}
+
+func configs() []benchConfig {
+	return []benchConfig{
+		{"1T-L2_16", config.Figure2(1)},
+		{"1T-L2_256", config.Figure2(1).WithL2Latency(256)},
+		{"4T-L2_16", config.Figure2(4)},
+		{"4T-L2_256", config.Figure2(4).WithL2Latency(256)},
+	}
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "", "output file (default stdout)")
+		insts = flag.Int64("insts", 120_000, "graduated instructions per measured run")
+	)
+	flag.Parse()
+
+	snap := Snapshot{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Insts:     *insts,
+	}
+	for _, cfg := range configs() {
+		for _, mode := range []string{"run", "stepped"} {
+			rec, err := measure(cfg, mode, *insts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dae-bench:", err)
+				os.Exit(1)
+			}
+			snap.Records = append(snap.Records, rec)
+			fmt.Fprintf(os.Stderr, "%-10s %-8s %8.2f ms/run %12.0f insts/s %6.1f%% skipped\n",
+				rec.Config, rec.Mode, float64(rec.NsPerRun)/1e6, rec.InstsPerS, rec.SkippedPct)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dae-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "dae-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// measure benchmarks one configuration in one mode via testing.Benchmark
+// (the same measurement machinery `go test -bench` uses, so the numbers
+// are comparable with internal/core's microbenchmarks).
+func measure(cfg benchConfig, mode string, insts int64) (Record, error) {
+	const horizon = int64(1) << 50
+	var buildErr error
+	var skipped, cycles int64
+	res := testing.Benchmark(func(b *testing.B) {
+		skipped, cycles = 0, 0
+		for i := 0; i < b.N; i++ {
+			c, err := core.New(cfg.machine, sources(cfg.machine.Threads))
+			if err != nil {
+				buildErr = err
+				b.FailNow()
+			}
+			if mode == "stepped" {
+				for c.Collector().Graduated < insts {
+					c.Tick()
+				}
+			} else {
+				for c.Collector().Graduated < insts {
+					c.Step(horizon)
+				}
+			}
+			skipped += c.SkippedCycles()
+			cycles += c.Collector().Cycles
+		}
+	})
+	if buildErr != nil {
+		return Record{}, buildErr
+	}
+	sec := res.T.Seconds()
+	rec := Record{
+		Config:   cfg.name,
+		Mode:     mode,
+		Insts:    insts,
+		NsPerRun: res.NsPerOp(),
+	}
+	if sec > 0 {
+		rec.CyclesPerS = float64(cycles) / sec
+		rec.InstsPerS = float64(insts) * float64(res.N) / sec
+	}
+	if cycles > 0 {
+		rec.SkippedPct = 100 * float64(skipped) / float64(cycles)
+	}
+	return rec, nil
+}
+
+func sources(threads int) []trace.Reader {
+	return workload.MixSources(threads, workload.MixOpts{})
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestMeasureSmoke runs one tiny measurement per mode and checks the
+// record is sane and serializable.
+func TestMeasureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark smoke test is not short")
+	}
+	cfg := configs()[0]
+	for _, mode := range []string{"run", "stepped"} {
+		rec, err := measure(cfg, mode, 2_000)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if rec.NsPerRun <= 0 || rec.InstsPerS <= 0 {
+			t.Fatalf("%s: degenerate record %+v", mode, rec)
+		}
+		if _, err := json.Marshal(rec); err != nil {
+			t.Fatalf("%s: marshal: %v", mode, err)
+		}
+	}
+}
+
+// TestConfigsValid guards the benchmark configurations against config
+// API drift.
+func TestConfigsValid(t *testing.T) {
+	for _, cfg := range configs() {
+		m := cfg.machine.Effective()
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.name, err)
+		}
+	}
+}

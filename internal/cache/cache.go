@@ -98,10 +98,21 @@ func (c *Cache) setIndex(addr uint64) uint64 { return (addr >> c.lineShift) & c.
 func (c *Cache) tag(addr uint64) uint64 { return addr >> c.lineShift }
 
 // Lookup probes the cache for addr. On a hit it refreshes the line's LRU
-// state and reports true.
+// state and reports true. Direct-mapped caches — the paper's L1 and the
+// simulator's hottest configuration — take an inlinable fast path with
+// no LRU bookkeeping: with one way per set there is nothing to rank.
 func (c *Cache) Lookup(addr uint64) bool {
 	set := c.sets[c.setIndex(addr)]
 	t := c.tag(addr)
+	if len(set) == 1 {
+		return set[0].valid && set[0].tag == t
+	}
+	return c.lookupAssoc(set, t)
+}
+
+// lookupAssoc is the associative probe with LRU refresh (kept out of
+// Lookup so the direct-mapped path stays within the inlining budget).
+func (c *Cache) lookupAssoc(set []way, t uint64) bool {
 	for i := range set {
 		if set[i].valid && set[i].tag == t {
 			c.lruClock++

@@ -1,0 +1,197 @@
+package core
+
+// Unit tests for the event calendar. The scheduler-level guarantees
+// (bit-identical fast-forward) live in internal/sim's equivalence suite
+// and fastforward_test.go; these tests pin the data structure itself:
+// wheel indexing, same-cycle coalescing, window wraparound, the far-heap
+// overflow path, lazy clearing across long advances, and stale (cancelled)
+// events.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// calRef is the oracle: a plain set of scheduled cycles.
+type calRef map[int64]struct{}
+
+func (r calRef) schedule(at int64) { r[at] = struct{}{} }
+func (r calRef) nextAfter(now int64) int64 {
+	next := int64(Never)
+	for at := range r {
+		if at > now && at < next {
+			next = at
+		}
+	}
+	return next
+}
+
+// TestCalendarBasic: schedule, peek, advance-by-query.
+func TestCalendarBasic(t *testing.T) {
+	var c calendar
+	if got := c.nextAfter(0); got != Never {
+		t.Fatalf("empty calendar: nextAfter = %d, want Never", got)
+	}
+	c.schedule(0, 5)
+	c.schedule(0, 3)
+	c.schedule(0, 9)
+	if got := c.nextAfter(0); got != 3 {
+		t.Fatalf("nextAfter(0) = %d, want 3", got)
+	}
+	if got := c.nextAfter(3); got != 5 {
+		t.Fatalf("nextAfter(3) = %d, want 5 (3 consumed)", got)
+	}
+	if got := c.nextAfter(8); got != 9 {
+		t.Fatalf("nextAfter(8) = %d, want 9", got)
+	}
+	if got := c.nextAfter(9); got != Never {
+		t.Fatalf("nextAfter(9) = %d, want Never (drained)", got)
+	}
+}
+
+// TestCalendarSameCycleEvents: many events on one cycle coalesce into a
+// single wake-up, and their insertion order is immaterial.
+func TestCalendarSameCycleEvents(t *testing.T) {
+	var c calendar
+	for i := 0; i < 10; i++ {
+		c.schedule(100, 256) // e.g. several registers delivered together
+	}
+	c.schedule(100, 200)
+	c.schedule(100, 256)
+	if got := c.nextAfter(100); got != 200 {
+		t.Fatalf("nextAfter = %d, want 200", got)
+	}
+	if got := c.nextAfter(200); got != 256 {
+		t.Fatalf("nextAfter(200) = %d, want 256", got)
+	}
+	if got := c.nextAfter(256); got != Never {
+		t.Fatalf("calendar not drained: %d", got)
+	}
+}
+
+// TestCalendarPastEventsIgnored: scheduling at or before now is a no-op
+// (the present is not a future event).
+func TestCalendarPastEventsIgnored(t *testing.T) {
+	var c calendar
+	c.schedule(50, 50)
+	c.schedule(50, 7)
+	if got := c.nextAfter(50); got != Never {
+		t.Fatalf("past/present events surfaced: nextAfter = %d", got)
+	}
+}
+
+// TestCalendarWraparound walks events across many wheel windows,
+// exercising index wrap and the lazy clearing of passed bits.
+func TestCalendarWraparound(t *testing.T) {
+	var c calendar
+	now := int64(0)
+	for i := 0; i < 200; i++ {
+		at := now + calWindow - 7 // just inside the window, wraps constantly
+		c.schedule(now, at)
+		if got := c.nextAfter(now); got != at {
+			t.Fatalf("iter %d: nextAfter(%d) = %d, want %d", i, now, got, at)
+		}
+		now = at
+	}
+	if got := c.nextAfter(now); got != Never {
+		t.Fatalf("calendar not drained after wrap walk: %d", got)
+	}
+}
+
+// TestCalendarFarOverflow: events beyond the wheel window (very long L2
+// latencies, deep bus queueing) overflow to the heap and migrate back as
+// the wheel advances.
+func TestCalendarFarOverflow(t *testing.T) {
+	var c calendar
+	events := []int64{calWindow + 100, 3 * calWindow, 10 * calWindow, calWindow + 100, 5}
+	for _, at := range events {
+		c.schedule(0, at)
+	}
+	want := []int64{5, calWindow + 100, 3 * calWindow, 10 * calWindow}
+	now := int64(0)
+	for _, w := range want {
+		got := c.nextAfter(now)
+		if got != w {
+			t.Fatalf("nextAfter(%d) = %d, want %d", now, got, w)
+		}
+		now = got
+	}
+	if got := c.nextAfter(now); got != Never {
+		t.Fatalf("calendar not drained: %d", got)
+	}
+	if !c.empty() {
+		t.Fatal("calendar should be empty after consuming all events")
+	}
+}
+
+// TestCalendarStaleEvents: events skipped past by a long advance (their
+// cause was cancelled, e.g. a mispredict redirect overtaking a pending
+// fetch-resume) are swept and never resurface a window later at the
+// aliased index.
+func TestCalendarStaleEvents(t *testing.T) {
+	var c calendar
+	c.schedule(0, 10)
+	c.schedule(0, 20)
+	// Jump far past both without consuming them (cancelled events).
+	if got := c.nextAfter(5 * calWindow); got != Never {
+		t.Fatalf("stale events resurfaced: %d", got)
+	}
+	// The aliased indices must be clean for new events.
+	at := int64(5*calWindow + 10)
+	c.schedule(5*calWindow, at)
+	if got := c.nextAfter(5 * calWindow); got != at {
+		t.Fatalf("nextAfter = %d, want %d", got, at)
+	}
+}
+
+// TestCalendarAgainstReference drives random schedules and queries
+// against a brute-force oracle, including adversarial clustering around
+// window boundaries.
+func TestCalendarAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var c calendar
+		ref := calRef{}
+		now := int64(rng.Intn(1000))
+		for step := 0; step < 400; step++ {
+			n := rng.Intn(4)
+			for i := 0; i < n; i++ {
+				var at int64
+				switch rng.Intn(4) {
+				case 0: // near future
+					at = now + 1 + int64(rng.Intn(16))
+				case 1: // mid-window
+					at = now + int64(rng.Intn(calWindow))
+				case 2: // window boundary neighbourhood
+					at = now + calWindow + int64(rng.Intn(5)) - 2
+				default: // far future
+					at = now + int64(rng.Intn(4*calWindow))
+				}
+				c.schedule(now, at)
+				if at > now+1 {
+					// The calendar's contract drops next-cycle events
+					// (Step's unconditional Tick covers them).
+					ref.schedule(at)
+				}
+			}
+			want := ref.nextAfter(now)
+			if got := c.nextAfter(now); got != want {
+				t.Fatalf("trial %d step %d: nextAfter(%d) = %d, want %d", trial, step, now, got, want)
+			}
+			// Advance: sometimes tick, sometimes jump (fast-forward),
+			// sometimes jump past events (cancellation).
+			switch rng.Intn(3) {
+			case 0:
+				now++
+			case 1:
+				if want != Never {
+					now = want
+				} else {
+					now += int64(rng.Intn(100))
+				}
+			default:
+				now += int64(rng.Intn(2 * calWindow))
+			}
+		}
+	}
+}

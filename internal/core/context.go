@@ -9,6 +9,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/regfile"
 	"repro/internal/rename"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -24,6 +25,10 @@ type Context struct {
 	// Exhausted marks that Source has run dry; the thread idles.
 	Exhausted bool
 
+	// peeker is Source's zero-copy lookahead interface when it has one
+	// (interned workload streams); nil sources fall back to the pending
+	// buffer below.
+	peeker trace.Peeker
 	// pending is a one-instruction peek buffer over Source, needed to
 	// stop fetching *before* consuming a branch that would exceed the
 	// control-speculation limit.
@@ -50,20 +55,20 @@ type Context struct {
 	// Pred is the thread's private branch predictor.
 	Pred branch.Predictor
 
-	// Meta is the per-file, per-physical-register bookkeeping.
-	Meta [isa.NumUnits][]regMeta
-
 	// NextSeq numbers dynamic instructions in program order.
 	NextSeq int64
 	// Unresolved counts in-flight (fetched, unresolved) branches; fetch
 	// stalls at the speculation limit.
 	Unresolved int
-	// unresolvedBranches lists issued branches awaiting resolution.
-	unresolvedBranches []*DynInst
-	// nextBranchResolveAt is the earliest DoneAt among the issued
-	// unresolved branches (Never when none): resolveBranches skips its
-	// scan until that cycle, and fast-forward uses it as the branch event
-	// bound. Maintained at branch issue and after every resolution scan.
+	// issuedBranches holds issued branches awaiting resolution. Branches
+	// issue in program order with a fixed latency, so their DoneAt times
+	// are monotone and the queue resolves strictly from the head — no
+	// scan, no reordering.
+	issuedBranches *queue.Ring[*DynInst]
+	// nextBranchResolveAt is the head of issuedBranches' DoneAt (Never
+	// when empty): resolveBranches skips the context until that cycle,
+	// and fast-forward uses it as the branch event bound. Maintained at
+	// branch issue and after every resolution pass.
 	nextBranchResolveAt int64
 	// FetchBlocked is the mispredicted branch currently freezing fetch.
 	FetchBlocked *DynInst
@@ -74,9 +79,38 @@ type Context struct {
 	// PendingAccess lists issued loads awaiting cache acceptance, in age
 	// order.
 	PendingAccess []*DynInst
+	// nextAccessAt is the earliest cycle a pending load can probe the
+	// cache (now+1 when one is blocked and must retry): cacheAccess's
+	// active-set gate. Maintained at load issue and after every walk.
+	nextAccessAt int64
+
+	// gradNextAt is the earliest cycle the ROB head can possibly
+	// graduate, when that bound is known (0 = probe every cycle, Never =
+	// parked on an empty ROB until dispatch pushes): graduate's
+	// active-set gate.
+	gradNextAt int64
+
+	// issueStall caches a provably-stalled stream head's verdict per
+	// unit: until the recorded cycle, issueStream replays the verdict —
+	// reason, and the head's memory-stall accrual via mem — without
+	// walking the queue. Armed only for blocking conditions with a known
+	// expiry; the empty-queue verdict (until = Never) is disarmed by the
+	// next dispatch push.
+	issueStall [isa.NumUnits]issueStall
+
+	// files indexes the physical register files by unit (branch-free
+	// file()).
+	files [isa.NumUnits]*regfile.File
 
 	// pool recycles DynInst allocations.
 	pool []*DynInst
+}
+
+// issueStall is one stream's cached stall verdict (see Context.issueStall).
+type issueStall struct {
+	until  int64
+	reason stats.WasteReason
+	mem    *DynInst // head charged with MemStall while cached, if any
 }
 
 // newContext builds a context for machine m.
@@ -89,10 +123,15 @@ func newContext(id int, m config.Machine, src trace.Reader) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
+	maxBr := m.MaxUnresolvedBranches
+	if maxBr < 1 {
+		maxBr = 1
+	}
 	c := &Context{
 		ID:                  id,
 		Source:              src,
 		nextBranchResolveAt: Never,
+		issuedBranches:      queue.New[*DynInst](maxBr),
 		FetchBuf:            queue.New[*DynInst](m.FetchBufSize),
 		APQ:                 queue.New[*DynInst](m.APQSize),
 		EPQ:                 queue.New[*DynInst](m.IQSize),
@@ -103,8 +142,9 @@ func newContext(id int, m config.Machine, src trace.Reader) (*Context, error) {
 		Map:                 rename.NewTable(),
 		Pred:                pred,
 	}
-	c.Meta[isa.AP] = make([]regMeta, m.APRegs)
-	c.Meta[isa.EP] = make([]regMeta, m.EPRegs)
+	c.files[isa.AP] = c.APFile
+	c.files[isa.EP] = c.EPFile
+	c.peeker, _ = src.(trace.Peeker)
 	if err := c.Map.Init(c.APFile, c.EPFile); err != nil {
 		return nil, fmt.Errorf("thread %d: %w", id, err)
 	}
@@ -112,47 +152,7 @@ func newContext(id int, m config.Machine, src trace.Reader) (*Context, error) {
 }
 
 // file returns the register file for the given unit.
-func (c *Context) file(u isa.Unit) *regfile.File {
-	if u == isa.AP {
-		return c.APFile
-	}
-	return c.EPFile
-}
-
-// NextEventAt returns the earliest cycle strictly after now at which this
-// context's state can change on its own: fetch unfreezes after a redirect,
-// an issued branch resolves, the ROB head completes or becomes eligible to
-// probe the cache, a pending load's or queued store's address arrives, or
-// any physical register's value is delivered. Together with the memory
-// system's pending refills these bound every comparison the pipeline
-// stages make against the current cycle, which is what makes Core.Step's
-// fast-forward exact.
-func (c *Context) NextEventAt(now int64) int64 {
-	next := Never
-	consider := func(at int64) {
-		if at > now && at < next {
-			next = at
-		}
-	}
-	consider(c.FetchResumeAt)
-	consider(c.nextBranchResolveAt)
-	if d, ok := c.ROB.Peek(); ok {
-		consider(d.DoneAt)
-		consider(d.AccessAt)
-	}
-	for _, d := range c.PendingAccess {
-		consider(d.AccessAt)
-	}
-	c.SAQ.Scan(func(d *DynInst) bool {
-		consider(d.AccessAt)
-		return true
-	})
-	// The register files come last: their cached minima make these O(1)
-	// in the common case.
-	consider(c.APFile.NextReadyAfter(now))
-	consider(c.EPFile.NextReadyAfter(now))
-	return next
-}
+func (c *Context) file(u isa.Unit) *regfile.File { return c.files[u] }
 
 // poolBlock is the batch size of DynInst pool growth: one backing array
 // per block amortizes ramp-up allocation and keeps in-flight instructions
@@ -181,7 +181,20 @@ func (c *Context) release(d *DynInst) {
 }
 
 // peekSource returns the next trace instruction without consuming it.
+// Sources with native lookahead (trace.Peeker — interned workload
+// streams) hand back a pointer into their own buffer, copy-free; others
+// go through the one-instruction pending buffer.
 func (c *Context) peekSource() (*isa.Inst, bool) {
+	if c.peeker != nil {
+		if c.Exhausted {
+			return nil, false
+		}
+		in, ok := c.peeker.PeekNext()
+		if !ok {
+			c.Exhausted = true
+		}
+		return in, ok
+	}
 	if c.hasPending {
 		return &c.pending, true
 	}
@@ -198,6 +211,10 @@ func (c *Context) peekSource() (*isa.Inst, bool) {
 
 // consumeSource consumes the peeked instruction.
 func (c *Context) consumeSource() {
+	if c.peeker != nil {
+		c.peeker.Consume()
+		return
+	}
 	if !c.hasPending {
 		panic("core: consumeSource without peek")
 	}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/regfile"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -43,8 +44,21 @@ type Core struct {
 
 	now int64
 	// rotate gives round-robin priority for issue, dispatch and cache
-	// access across threads; it advances every cycle.
+	// access across threads; it advances every cycle and is kept in
+	// [0, threads) so the stage walks never divide.
 	rotate int
+
+	// cal is the event calendar: every future cycle at which machine
+	// state can change on its own is inserted the moment its time
+	// becomes known (loads accepted, branches issued, registers
+	// written, redirects), and Step's fast-forward reads the earliest
+	// pending event with one O(1) peek.
+	cal calendar
+	// branchResolveAt is the earliest issued-branch resolution time
+	// across all contexts (a lower bound; per-context exact times live
+	// in Context.nextBranchResolveAt). resolveBranches skips the whole
+	// stage until it is due.
+	branchResolveAt int64
 
 	col stats.Collector
 
@@ -62,12 +76,17 @@ type Core struct {
 	dispatchStallDelta int64
 	conflictStallDelta int64
 
-	// scratch buffers reused every cycle (avoid per-cycle allocation).
-	reasonBuf [isa.NumUnits][]stats.WasteReason
+	// reasonBuf counts this cycle's blocked-stream verdicts per unit and
+	// reason; reasonTotal is the per-unit count of blocked streams. Both
+	// are rebuilt by issue each ticked cycle and replayed verbatim per
+	// skipped cycle by fastForward.
+	reasonBuf   [isa.NumUnits][stats.NumWasteReasons]int32
+	reasonTotal [isa.NumUnits]int32
 	// memStallBuf lists the stream heads whose MemStall counter advanced
 	// this cycle (rebuilt alongside reasonBuf, replayed by fastForward).
 	memStallBuf []*DynInst
 	fetchPick   []int
+	fetchLens   []int
 	orderBuf    []int
 }
 
@@ -85,7 +104,7 @@ func New(m config.Machine, sources []trace.Reader) (*Core, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Core{cfg: m, mem: ms}
+	c := &Core{cfg: m, mem: ms, branchResolveAt: Never}
 	for i := 0; i < m.Threads; i++ {
 		ctx, err := newContext(i, m, sources[i])
 		if err != nil {
@@ -93,10 +112,8 @@ func New(m config.Machine, sources []trace.Reader) (*Core, error) {
 		}
 		c.ctxs = append(c.ctxs, ctx)
 	}
-	for u := range c.reasonBuf {
-		c.reasonBuf[u] = make([]stats.WasteReason, 0, m.Threads)
-	}
 	c.fetchPick = make([]int, 0, m.Threads)
+	c.fetchLens = make([]int, m.Threads)
 	c.orderBuf = make([]int, 0, m.Threads)
 	return c, nil
 }
@@ -151,7 +168,7 @@ func (c *Core) Tick() {
 	c.issue()
 	c.dispatch()
 	c.fetch()
-	c.rotate++
+	c.rotate = c.rotNext(c.rotate)
 	c.dispatchStallDelta = c.col.DispatchStalls - dispatchStalls
 	c.conflictStallDelta = c.col.LoadConflictStalls - conflictStalls
 }
@@ -166,16 +183,19 @@ func (c *Core) Tick() {
 // machine never advances past the absolute cycle horizon.
 func (c *Core) Step(horizon int64) {
 	c.Tick()
-	// A tick that discovers source exhaustion can drain the machine
-	// without registering progress; never skip once Done.
-	if c.progressed || c.now >= horizon || c.Done() {
+	if c.progressed || c.now >= horizon {
 		return
 	}
 	end := c.nextEventAt() - 1
 	if end > horizon {
 		end = horizon
 	}
-	if end > c.now {
+	// A tick that discovers source exhaustion can drain the machine
+	// without registering progress; never skip once Done. The check runs
+	// only when a non-empty skip is actually pending, keeping the
+	// no-progress-but-event-imminent path (busy low-latency machines)
+	// free of the context scan.
+	if end > c.now && !c.Done() {
 		c.fastForward(end - c.now)
 	}
 }
@@ -212,20 +232,12 @@ func (c *Core) RunStepped(maxCycles int64) (int64, bool) {
 // Fast-forward.
 
 // nextEventAt returns the earliest cycle strictly after now at which the
-// machine's state can change: the minimum over every per-context event
-// source and the memory system's pending refills. Never when nothing is
-// scheduled (the machine is deadlocked or drained).
+// machine's state can change: a peek at the event calendar, into which
+// every subsystem inserted its delivery times as they became known.
+// Never when nothing is scheduled (the machine is deadlocked or
+// drained).
 func (c *Core) nextEventAt() int64 {
-	next := Never
-	for _, ctx := range c.ctxs {
-		if at := ctx.NextEventAt(c.now); at < next {
-			next = at
-		}
-	}
-	if at := c.mem.NextEventAt(c.now); at < next {
-		next = at
-	}
-	return next
+	return c.cal.nextAfter(c.now)
 }
 
 // fastForward bulk-accounts k cycles identical to the one just simulated.
@@ -249,14 +261,15 @@ func (c *Core) fastForward(k int64) {
 	}
 	c.col.DispatchStalls += k * c.dispatchStallDelta
 	c.col.LoadConflictStalls += k * c.conflictStallDelta
-	c.rotate += int(k)
+	c.rotate = (c.rotate + int(k%int64(len(c.ctxs)))) % len(c.ctxs)
 	c.now += k
 }
 
 // rotStart returns this cycle's round-robin starting thread, and rotNext
-// the following index (modulo-free wrap). Every rotated stage walk uses
-// this pair so the rotation policy lives in one place.
-func (c *Core) rotStart() int { return c.rotate % len(c.ctxs) }
+// the following index (modulo-free wrap; rotate is maintained in range).
+// Every rotated stage walk uses this pair so the rotation policy lives
+// in one place.
+func (c *Core) rotStart() int { return c.rotate }
 
 func (c *Core) rotNext(t int) int {
 	if t++; t == len(c.ctxs) {
@@ -276,42 +289,57 @@ func (c *Core) rotNext(t int) int {
 // keeps history-based predictors (gshare) consistent; resolution here
 // only drives the pipeline timing.
 func (c *Core) resolveBranches() {
+	// Active-set gate: branchResolveAt is the minimum of the per-context
+	// resolution times (maintained at branch issue, recomputed below);
+	// until it is due, no context has a due branch and the whole stage —
+	// which has no per-cycle side effects when nothing retires — is
+	// skipped.
+	if c.now < c.branchResolveAt {
+		return
+	}
+	min := Never
 	for _, ctx := range c.ctxs {
 		if c.now < ctx.nextBranchResolveAt {
-			continue // earliest issued branch is not due yet: skip the scan
-		}
-		br := ctx.unresolvedBranches
-		next := Never
-		for i := 0; i < len(br); {
-			b := br[i]
-			if !b.Issued || b.DoneAt > c.now {
-				if b.Issued && b.DoneAt < next {
-					next = b.DoneAt
-				}
-				i++
-				continue
+			if ctx.nextBranchResolveAt < min {
+				min = ctx.nextBranchResolveAt
 			}
+			continue // earliest issued branch is not due yet
+		}
+		// Branches issue in program order with a fixed latency, so
+		// DoneAt is monotone along the queue: retire strictly from the
+		// head, and the new head's DoneAt is the exact next bound.
+		next := Never
+		for {
+			b, ok := ctx.issuedBranches.Peek()
+			if !ok {
+				break
+			}
+			if b.DoneAt > c.now {
+				next = b.DoneAt
+				break
+			}
+			ctx.issuedBranches.Drop()
 			ctx.Unresolved--
 			c.col.Branches++
 			c.progressed = true
 			if b.Mispredicted {
 				c.col.Mispredicts++
 				if ctx.FetchBlocked == b {
+					// One-cycle redirect penalty. No calendar entry is
+					// needed: retiring the branch set progressed, which
+					// forbids skipping this cycle, and Step's next Tick
+					// covers now+1 unconditionally.
 					ctx.FetchBlocked = nil
-					ctx.FetchResumeAt = c.now + 1 // redirect penalty
+					ctx.FetchResumeAt = c.now + 1
 				}
 			}
-			// Swap-remove: every branch due this cycle retires regardless
-			// of list position (retirement is keyed by DoneAt alone), so
-			// order need not be preserved.
-			last := len(br) - 1
-			br[i] = br[last]
-			br[last] = nil
-			br = br[:last]
 		}
-		ctx.unresolvedBranches = br
 		ctx.nextBranchResolveAt = next
+		if next < min {
+			min = next
+		}
 	}
+	c.branchResolveAt = min
 }
 
 // ----------------------------------------------------------------------------
@@ -327,20 +355,35 @@ func (c *Core) graduate() {
 	for k := 0; k < len(c.ctxs); k++ {
 		ctx := c.ctxs[t]
 		t = c.rotNext(t)
+		// Active-set gate: gradNextAt is the earliest cycle this thread's
+		// ROB head can possibly graduate, recorded below whenever the
+		// blocking condition has a known delivery time. Skipping until
+		// then is exact because the skipped walk would have returned at
+		// the same check with no side effects.
+		if c.now < ctx.gradNextAt {
+			continue
+		}
 		budget := c.cfg.GraduateWidth
+		var next int64
 		for budget > 0 {
 			d, ok := ctx.ROB.Peek()
 			if !ok {
+				next = Never // re-armed by the next ROB push (tryDispatch)
 				break
 			}
 			if d.IsStore() {
-				if !c.tryCommitStore(ctx, d) {
+				committed, retryAt := c.tryCommitStore(ctx, d)
+				if !committed {
+					next = retryAt
 					break
 				}
 			} else if d.DoneAt > c.now {
+				if d.DoneAt != Never {
+					next = d.DoneAt // completion time known and final
+				}
 				break
 			}
-			ctx.ROB.Pop()
+			ctx.ROB.Drop()
 			c.progressed = true
 			if d.Dest.Valid() {
 				ctx.file(d.DestFile).Free(d.POld)
@@ -350,25 +393,41 @@ func (c *Core) graduate() {
 			ctx.release(d)
 			budget--
 		}
+		ctx.gradNextAt = next
 	}
 }
 
 // tryCommitStore attempts to write the store at the ROB head into the
-// cache. It returns false if the store is not ready (address not yet
-// computed, data operand not ready) or the cache rejected it this cycle.
-func (c *Core) tryCommitStore(ctx *Context, d *DynInst) bool {
-	if !d.Issued || c.now < d.AccessAt {
-		return false // address not computed yet
+// cache. When it cannot commit — address not yet computed, data operand
+// not ready, or the cache rejected it this cycle — it also returns the
+// earliest cycle the attempt could succeed (0 when unknown, meaning
+// retry every cycle).
+func (c *Core) tryCommitStore(ctx *Context, d *DynInst) (bool, int64) {
+	if !d.Issued {
+		return false, 0 // address computation not even started
 	}
-	if !ctx.file(d.Src1File).Ready(d.PSrc1, c.now) {
-		return false // store data not produced yet
+	if c.now < d.AccessAt {
+		return false, d.AccessAt // address not computed yet
+	}
+	if p := d.PSrc1; p != regfile.None {
+		if ra := ctx.file(d.Src1File).ReadyAt(p); ra > c.now {
+			if ra == regfile.NeverReady {
+				return false, 0 // store data delivery not known yet
+			}
+			return false, ra // store data not produced yet
+		}
 	}
 	// The probe mutates memory-system counters even when rejected, so a
 	// cycle that reaches it is never skippable.
 	c.progressed = true
 	res := c.mem.StoreCommit(d.Addr)
 	if !res.OK {
-		return false // port or MSHR pressure: retry next cycle
+		return false, 0 // port or MSHR pressure: retry next cycle
+	}
+	if res.Miss {
+		// The fill is a future event: it frees an MSHR (and installs the
+		// line), which can unblock MSHR-rejected accesses.
+		c.cal.schedule(c.now, res.ReadyAt)
 	}
 	// The SAQ is FIFO in program order and stores graduate in program
 	// order, so the head must be this store.
@@ -376,7 +435,7 @@ func (c *Core) tryCommitStore(ctx *Context, d *DynInst) bool {
 	if !ok || head != d {
 		panic("core: SAQ out of sync with ROB")
 	}
-	return true
+	return true, 0
 }
 
 // ----------------------------------------------------------------------------
@@ -393,14 +452,22 @@ func (c *Core) cacheAccess() {
 	for k := 0; k < len(c.ctxs); k++ {
 		ctx := c.ctxs[t]
 		t = c.rotNext(t)
-		if len(ctx.PendingAccess) == 0 {
+		// Active-set gate: nextAccessAt is the earliest AccessAt among the
+		// pending loads (or now+1 when one is blocked on a structural or
+		// conflict hazard and must retry). Until it is due, the walk would
+		// only rebuild the same list with no side effects.
+		if len(ctx.PendingAccess) == 0 || c.now < ctx.nextAccessAt {
 			continue
 		}
 		keep := ctx.PendingAccess[:0]
 		blocked := false // once one access is rejected, keep age order
+		next := Never
 		for _, d := range ctx.PendingAccess {
 			if blocked || d.AccessAt > c.now {
 				keep = append(keep, d)
+				if d.AccessAt < next {
+					next = d.AccessAt
+				}
 				continue
 			}
 			switch c.tryLoad(ctx, d) {
@@ -412,6 +479,10 @@ func (c *Core) cacheAccess() {
 			}
 		}
 		ctx.PendingAccess = keep
+		if blocked {
+			next = c.now + 1
+		}
+		ctx.nextAccessAt = next
 	}
 }
 
@@ -465,8 +536,9 @@ func (c *Core) tryLoad(ctx *Context, d *DynInst) loadOutcome {
 			// certainly miss. Mark its destination now so consumers
 			// blocked on it are classified (and sampled) as memory
 			// stalls rather than FU stalls.
-			if !ctx.Meta[d.DestFile][d.PDest].MissedLoad {
-				ctx.Meta[d.DestFile][d.PDest] = regMeta{MissedLoad: true}
+			if e := ctx.files[d.DestFile].Entry(d.PDest); !e.MissedLoad {
+				e.MissedLoad = true
+				e.Sampled = false
 			}
 		}
 		return loadRetry
@@ -484,10 +556,14 @@ func (c *Core) completeLoad(ctx *Context, d *DynInst, readyAt int64, miss bool) 
 	d.Missed = miss
 	d.DoneAt = readyAt
 	ctx.file(d.DestFile).SetReadyAt(d.PDest, readyAt)
+	// The delivery is an event: consumers blocked on the register can
+	// issue, and the load itself can graduate, at readyAt (for a primary
+	// miss this is also the fill that frees the MSHR).
+	c.cal.schedule(c.now, readyAt)
 	if miss {
 		// Preserve the Sampled flag: a consumer may already have flushed
 		// its sample while the access was queued on a full MSHR file.
-		ctx.Meta[d.DestFile][d.PDest].MissedLoad = true
+		ctx.files[d.DestFile].Entry(d.PDest).MissedLoad = true
 	}
 }
 
@@ -520,7 +596,7 @@ func (c *Core) dispatch() {
 				c.col.DispatchStalls++
 				break
 			}
-			ctx.FetchBuf.Pop()
+			ctx.FetchBuf.Drop()
 			c.progressed = true
 			budget--
 		}
@@ -563,10 +639,15 @@ func (c *Core) tryDispatch(ctx *Context, d *DynInst) bool {
 		}
 		d.PDest = p
 		d.POld = ctx.Map.Set(d.Dest, p)
-		ctx.Meta[destFile][p] = regMeta{}
 	}
 	ctx.ROB.Push(d)
+	if ctx.ROB.Len() == 1 {
+		ctx.gradNextAt = 0 // an empty ROB parked graduation; re-arm it
+	}
 	q.Push(d)
+	if st := &ctx.issueStall[d.Unit]; st.until == Never {
+		st.until = 0 // the stream was cached empty-idle; re-arm it
+	}
 	if d.IsStore() {
 		ctx.SAQ.Push(d)
 	}
@@ -598,11 +679,17 @@ func (c *Core) fetch() {
 	}
 	if c.cfg.FetchPolicy != config.FetchRoundRobin {
 		// ICOUNT: fewest instructions pending dispatch first. Stable
-		// insertion sort over the rotated order keeps ties round-robin.
+		// insertion sort over the rotated order keeps ties round-robin;
+		// the buffer lengths are read once, not per comparison.
 		p := c.fetchPick
+		lens := c.fetchLens[:len(p)]
+		for i, t := range p {
+			lens[i] = c.ctxs[t].FetchBuf.Len()
+		}
 		for i := 1; i < len(p); i++ {
-			for j := i; j > 0 && c.ctxs[p[j]].FetchBuf.Len() < c.ctxs[p[j-1]].FetchBuf.Len(); j-- {
+			for j := i; j > 0 && lens[j] < lens[j-1]; j-- {
 				p[j], p[j-1] = p[j-1], p[j]
+				lens[j], lens[j-1] = lens[j-1], lens[j]
 			}
 		}
 	}
@@ -658,7 +745,6 @@ func (c *Core) fetchThread(ctx *Context) {
 
 		if d.IsBranch() {
 			ctx.Unresolved++
-			ctx.unresolvedBranches = append(ctx.unresolvedBranches, d)
 			predicted := ctx.Pred.Predict(d.PC)
 			ctx.Pred.Update(d.PC, d.Taken)
 			if predicted != d.Taken {

@@ -9,8 +9,7 @@ import (
 // Never is a cycle count beyond any simulation horizon, used for event
 // times that are not yet known (e.g. a load's completion before the cache
 // has accepted it). It aliases the register files' sentinel so the two
-// never diverge; mem.Never is an independent sentinel, but nextEventAt
-// only compares magnitudes, never sentinel identities.
+// never diverge.
 const Never = regfile.NeverReady
 
 // DynInst is one in-flight dynamic instruction. Instances are pooled per
@@ -81,28 +80,22 @@ type DynInst struct {
 	BlockFile isa.Unit
 }
 
-// reset clears a pooled DynInst for reuse.
+// reset clears a pooled DynInst for reuse. The whole-struct zero is a
+// single memclr; the non-zero sentinels are written individually (a
+// composite literal with non-zero fields would build a stack temporary
+// and block-copy it, which is measurably slower on this hot path).
 func (d *DynInst) reset() {
-	*d = DynInst{
-		PDest:     regfile.None,
-		POld:      regfile.None,
-		PSrc1:     regfile.None,
-		PSrc2:     regfile.None,
-		BlockPhys: regfile.None,
-		DoneAt:    Never,
-		AccessAt:  Never,
-	}
+	*d = DynInst{}
+	d.PDest = regfile.None
+	d.POld = regfile.None
+	d.PSrc1 = regfile.None
+	d.PSrc2 = regfile.None
+	d.BlockPhys = regfile.None
+	d.DoneAt = Never
+	d.AccessAt = Never
 }
 
-// regMeta is the per-physical-register bookkeeping used for stall
-// classification and perceived-latency sampling. It lives in flat arrays
-// indexed by physical register (value semantics — no dangling pointers to
-// recycled DynInsts).
-type regMeta struct {
-	// MissedLoad marks that the register's value is produced by a load
-	// that missed in L1.
-	MissedLoad bool
-	// Sampled marks that the perceived-latency sample for that load has
-	// been recorded (one sample per missed load, at its first consumer).
-	Sampled bool
-}
+// The per-physical-register classification flags (missed-load marking
+// and perceived-latency sampling state) live in regfile.Entry, merged
+// with the register's ready time so the issue stage's operand check and
+// the sampling that follows share one cache line.

@@ -144,6 +144,52 @@ func TestFastForwardBranchMispredictStall(t *testing.T) {
 	runPair(t, highLatency(), insts, 2_000_000)
 }
 
+// TestFastForwardBeyondWheelWindow stresses the calendar's far-overflow
+// path: an L2 latency larger than the timing wheel's span (calWindow
+// cycles) sends every refill event through the overflow heap, and the
+// serial gather chain forces skips longer than one whole wheel
+// revolution. Everything must stay bit-identical to stepping.
+func TestFastForwardBeyondWheelWindow(t *testing.T) {
+	m := config.Figure2(1).WithL2Latency(calWindow + 1000)
+	m.ScaleWithLatency = false // keep the machine itself at baseline size
+	var chain []isa.Inst
+	for i := 0; i < 12; i++ {
+		chain = append(chain,
+			intLoad(0x60, 13, 13, uint64(0x500000+i*4096)),
+			intOp(0x64, 5, 13, 13),
+		)
+	}
+	fast, _ := runPair(t, m, chain, 10_000_000)
+	if frac := float64(fast.SkippedCycles()) / float64(fast.Collector().Cycles); frac < 0.9 {
+		t.Fatalf("skipped only %.0f%% despite a %d-cycle L2", 100*frac, calWindow+1000)
+	}
+}
+
+// TestFastForwardRedirectCancelsEvents pins the stale-event behaviour:
+// a mispredicted branch freezes fetch while older instructions' events
+// (register deliveries, access times) are already in the calendar; the
+// redirect then re-schedules fetch. Cancelled/overtaken events may wake
+// the machine spuriously but must never change a statistic. The trace
+// alternates mispredicting branches with long-latency misses so
+// resolution, redirect and refill events interleave in the calendar.
+func TestFastForwardRedirectCancelsEvents(t *testing.T) {
+	var insts []isa.Inst
+	for i := 0; i < 120; i++ {
+		insts = append(insts,
+			intLoad(0x30, 13, 1, uint64(0x600000+i*4096)),
+			brInst(0x34, 13, i%3 == 0), // depends on the missing load
+			intOp(0x38, 5, 13, 13),
+		)
+	}
+	fast, _ := runPair(t, highLatency(), insts, 2_000_000)
+	if fast.Collector().Mispredicts == 0 {
+		t.Fatal("trace produced no mispredicts; the scenario is vacuous")
+	}
+	if fast.SkippedCycles() == 0 {
+		t.Fatal("nothing was skipped; the scenario is vacuous")
+	}
+}
+
 // TestFastForwardStoreConflictStall covers the load-behind-conflicting-
 // store retry path, whose per-cycle conflict counter must replay exactly
 // during skips (the store's data arrives from a missing load).

@@ -15,8 +15,10 @@ import (
 // issues strictly in program order across both units — the degenerate
 // machine of the paper with the instruction queues disabled.
 func (c *Core) issue() {
-	c.reasonBuf[isa.AP] = c.reasonBuf[isa.AP][:0]
-	c.reasonBuf[isa.EP] = c.reasonBuf[isa.EP][:0]
+	c.reasonBuf[isa.AP] = [stats.NumWasteReasons]int32{}
+	c.reasonBuf[isa.EP] = [stats.NumWasteReasons]int32{}
+	c.reasonTotal[isa.AP] = 0
+	c.reasonTotal[isa.EP] = 0
 	c.memStallBuf = c.memStallBuf[:0]
 	shared := c.cfg.SharedFUs
 	if shared <= 0 {
@@ -38,12 +40,12 @@ func (c *Core) issueDecoupled(shared int) {
 		n := len(c.ctxs)
 		t := c.rotStart()
 		for k := 0; k < n && apSlots > 0 && shared > 0; k++ {
-			c.issueStream(c.ctxs[t], isa.AP, &apSlots, &shared)
+			apSlots, shared = c.issueStream(c.ctxs[t], isa.AP, apSlots, shared)
 			t = c.rotNext(t)
 		}
 		t = c.rotStart()
 		for k := 0; k < n && epSlots > 0 && shared > 0; k++ {
-			c.issueStream(c.ctxs[t], isa.EP, &epSlots, &shared)
+			epSlots, shared = c.issueStream(c.ctxs[t], isa.EP, epSlots, shared)
 			t = c.rotNext(t)
 		}
 	} else {
@@ -51,13 +53,13 @@ func (c *Core) issueDecoupled(shared int) {
 			if apSlots <= 0 || shared <= 0 {
 				break
 			}
-			c.issueStream(c.ctxs[t], isa.AP, &apSlots, &shared)
+			apSlots, shared = c.issueStream(c.ctxs[t], isa.AP, apSlots, shared)
 		}
 		for _, t := range c.threadOrder(isa.EP) {
 			if epSlots <= 0 || shared <= 0 {
 				break
 			}
-			c.issueStream(c.ctxs[t], isa.EP, &epSlots, &shared)
+			epSlots, shared = c.issueStream(c.ctxs[t], isa.EP, epSlots, shared)
 		}
 	}
 	c.accountSlots(isa.AP, c.cfg.APWidth, apSlots)
@@ -104,31 +106,68 @@ func (c *Core) threadOrder(unit isa.Unit) []int {
 // issueStream issues consecutive ready instructions from one thread's
 // stream for the given unit, recording the blocking reason when the head
 // cannot issue while slots remain.
-func (c *Core) issueStream(ctx *Context, unit isa.Unit, slots, shared *int) {
+//
+// The per-unit stall cache (Context.issueStall) is the issue stage's
+// ready-set: a stream whose head is provably stalled until a known cycle
+// — or whose queue is empty — records its cached verdict without
+// touching the queue or re-classifying, exactly reproducing what the
+// full walk would do (including the head's memory-stall accrual). The
+// cache is armed only when the blocking condition has a known expiry
+// (the same rule as DynInst.StallUntil) and re-armed by dispatch when a
+// push ends an empty-queue verdict.
+func (c *Core) issueStream(ctx *Context, unit isa.Unit, slots, shared int) (int, int) {
+	st := &ctx.issueStall[unit]
+	if c.now < st.until {
+		if st.mem != nil {
+			st.mem.MemStall++
+			c.memStallBuf = append(c.memStallBuf, st.mem)
+		}
+		c.record(unit, st.reason)
+		return slots, shared
+	}
 	q := ctx.APQ
 	if unit == isa.EP {
 		q = ctx.EPQ
 	}
-	for *slots > 0 && *shared > 0 {
+	for slots > 0 && shared > 0 {
 		d, ok := q.Peek()
 		if !ok {
+			st.until, st.reason, st.mem = Never, stats.WasteIdle, nil
 			c.record(unit, stats.WasteIdle)
-			return
+			return slots, shared
 		}
 		if c.now < d.StallUntil {
-			c.record(unit, c.stalledVerdict(d))
-			return
+			r := c.stalledVerdict(d)
+			c.cacheStreamStall(st, d, r)
+			c.record(unit, r)
+			return slots, shared
 		}
 		reason, ready := c.classify(ctx, d)
 		if !ready {
+			if c.now < d.StallUntil {
+				// block() recorded a known delivery time: the verdict —
+				// and the head — are fixed until then.
+				c.cacheStreamStall(st, d, reason)
+			}
 			c.record(unit, reason)
-			return
+			return slots, shared
 		}
-		q.Pop()
+		q.Drop()
 		c.execute(ctx, d)
-		*slots--
-		*shared--
+		slots--
+		shared--
 		c.col.Slots[unit].Issued++
+	}
+	return slots, shared
+}
+
+// cacheStreamStall arms one stream's stall cache from its blocked head.
+func (c *Core) cacheStreamStall(st *issueStall, d *DynInst, r stats.WasteReason) {
+	st.until, st.reason = d.StallUntil, r
+	if r == stats.WasteMem {
+		st.mem = d
+	} else {
+		st.mem = nil
 	}
 }
 
@@ -180,7 +219,7 @@ func (c *Core) issueMerged(shared int) {
 				c.record(isa.EP, reason)
 				break walk
 			}
-			q.Pop()
+			q.Drop()
 			c.execute(ctx, d)
 			*slots--
 			shared--
@@ -215,12 +254,12 @@ func mergedHead(ctx *Context) *DynInst {
 func (c *Core) classify(ctx *Context, d *DynInst) (stats.WasteReason, bool) {
 	// Stores issue on address operands only (Src2); the data operand
 	// (Src1) joins at graduation via the SAQ. Everything else needs all
-	// sources.
-	if !d.IsStore() && d.PSrc1 != regfile.None && !ctx.file(d.Src1File).Ready(d.PSrc1, c.now) {
-		return c.block(ctx, d, d.PSrc1, d.Src1File), false
+	// sources. The None guard makes the RegReady index known-valid.
+	if p := d.PSrc1; p != regfile.None && !d.IsStore() && !ctx.files[d.Src1File].RegReady(p, c.now) {
+		return c.block(ctx, d, p, d.Src1File), false
 	}
-	if d.PSrc2 != regfile.None && !ctx.file(d.Src2File).Ready(d.PSrc2, c.now) {
-		return c.block(ctx, d, d.PSrc2, d.Src2File), false
+	if p := d.PSrc2; p != regfile.None && !ctx.files[d.Src2File].RegReady(p, c.now) {
+		return c.block(ctx, d, p, d.Src2File), false
 	}
 	return 0, true
 }
@@ -253,7 +292,7 @@ func (c *Core) block(ctx *Context, d *DynInst, p regfile.PhysReg, file isa.Unit)
 // stall time. Switching blockers flushes the previous blocker's
 // perceived-latency sample.
 func (c *Core) blockOn(ctx *Context, d *DynInst, p regfile.PhysReg, file isa.Unit) stats.WasteReason {
-	if !ctx.Meta[file][p].MissedLoad {
+	if !ctx.files[file].Entry(p).MissedLoad {
 		return stats.WasteFU
 	}
 	if d.BlockPhys != p || d.BlockFile != file {
@@ -273,7 +312,7 @@ func (c *Core) flushBlockSample(ctx *Context, d *DynInst) {
 	if d.BlockPhys == regfile.None {
 		return
 	}
-	m := &ctx.Meta[d.BlockFile][d.BlockPhys]
+	m := ctx.files[d.BlockFile].Entry(d.BlockPhys)
 	if m.MissedLoad && !m.Sampled {
 		m.Sampled = true
 		c.addPerceived(d.BlockFile, d.MemStall)
@@ -307,14 +346,26 @@ func (c *Core) execute(ctx *Context, d *DynInst) {
 	case isa.OpLoad:
 		d.AccessAt = c.now + c.cfg.APLatency
 		ctx.PendingAccess = append(ctx.PendingAccess, d)
+		if d.AccessAt < ctx.nextAccessAt || len(ctx.PendingAccess) == 1 {
+			ctx.nextAccessAt = d.AccessAt
+		}
+		c.cal.schedule(c.now, d.AccessAt)
 	case isa.OpStore:
 		d.AccessAt = c.now + c.cfg.APLatency
 		d.DoneAt = d.AccessAt // address computed; data joins at graduation
+		c.cal.schedule(c.now, d.AccessAt)
 	case isa.OpBranch:
 		d.DoneAt = c.now + c.cfg.APLatency
+		if !ctx.issuedBranches.Push(d) {
+			panic("core: issued branches exceed the speculation limit")
+		}
 		if d.DoneAt < ctx.nextBranchResolveAt {
 			ctx.nextBranchResolveAt = d.DoneAt
 		}
+		if d.DoneAt < c.branchResolveAt {
+			c.branchResolveAt = d.DoneAt
+		}
+		c.cal.schedule(c.now, d.DoneAt)
 	default:
 		lat := c.cfg.APLatency
 		if d.Unit == isa.EP {
@@ -324,6 +375,7 @@ func (c *Core) execute(ctx *Context, d *DynInst) {
 		if d.PDest != regfile.None {
 			ctx.file(d.DestFile).SetReadyAt(d.PDest, d.DoneAt)
 		}
+		c.cal.schedule(c.now, d.DoneAt)
 	}
 }
 
@@ -333,51 +385,60 @@ func (c *Core) execute(ctx *Context, d *DynInst) {
 // on that operand at the head of its stream — zero when decoupling
 // delivered the data before the consumer arrived.
 func (c *Core) samplePerceived(ctx *Context, d *DynInst) {
-	take := func(p regfile.PhysReg, file isa.Unit) {
-		if p == regfile.None {
-			return
-		}
-		m := &ctx.Meta[file][p]
-		if !m.MissedLoad || m.Sampled {
-			return
-		}
-		m.Sampled = true
-		var cycles int64
-		if d.BlockPhys == p && d.BlockFile == file {
-			cycles = d.MemStall
-			d.BlockPhys = regfile.None
-			d.MemStall = 0
-		}
-		c.addPerceived(file, cycles)
-	}
 	if !d.IsStore() { // store data is consumed at graduation, not issue
-		take(d.PSrc1, d.Src1File)
+		c.takePerceived(ctx, d, d.PSrc1, d.Src1File)
 	}
-	take(d.PSrc2, d.Src2File)
+	c.takePerceived(ctx, d, d.PSrc2, d.Src2File)
+}
+
+// takePerceived samples one consumed operand if it is an unsampled
+// missed load.
+func (c *Core) takePerceived(ctx *Context, d *DynInst, p regfile.PhysReg, file isa.Unit) {
+	if p == regfile.None {
+		return
+	}
+	m := ctx.files[file].Entry(p)
+	if !m.MissedLoad || m.Sampled {
+		return
+	}
+	m.Sampled = true
+	var cycles int64
+	if d.BlockPhys == p && d.BlockFile == file {
+		cycles = d.MemStall
+		d.BlockPhys = regfile.None
+		d.MemStall = 0
+	}
+	c.addPerceived(file, cycles)
 }
 
 // record notes one thread's blocking reason for a unit this cycle.
 func (c *Core) record(unit isa.Unit, r stats.WasteReason) {
-	c.reasonBuf[unit] = append(c.reasonBuf[unit], r)
+	c.reasonBuf[unit][r]++
+	c.reasonTotal[unit]++
 }
 
 // accountSlots distributes a unit's wasted slots this cycle across the
 // blocked threads' reasons (evenly, one reason per thread), defaulting to
 // idle when no thread reported a reason — the Tullsen-style accounting the
-// paper's Figure 3 uses.
+// paper's Figure 3 uses. The float share is added once per blocked
+// thread, never pre-multiplied, so the waste buckets accumulate in the
+// exact sequence the original per-thread walk produced (bit-identical
+// floats).
 func (c *Core) accountSlots(unit isa.Unit, width, left int) {
 	s := &c.col.Slots[unit]
 	s.Total += int64(width)
 	if left <= 0 {
 		return
 	}
-	reasons := c.reasonBuf[unit]
-	if len(reasons) == 0 {
+	n := int(c.reasonTotal[unit])
+	if n == 0 {
 		s.Wasted[stats.WasteIdle] += float64(left)
 		return
 	}
-	share := float64(left) / float64(len(reasons))
-	for _, r := range reasons {
-		s.Wasted[r] += share
+	share := float64(left) / float64(n)
+	for r, k := range c.reasonBuf[unit] {
+		for ; k > 0; k-- {
+			s.Wasted[r] += share
+		}
 	}
 }

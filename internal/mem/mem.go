@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/cache"
+	"repro/internal/queue"
 )
 
 // Config parameterises the memory subsystem.
@@ -140,10 +141,6 @@ type mshr struct {
 	valid bool
 }
 
-// Never is an event time beyond any simulation horizon, returned by
-// NextEventAt when no refill is pending.
-const Never = int64(1) << 62
-
 // System is the memory subsystem. Create with New; not safe for concurrent
 // use (the simulator is single-goroutine by design).
 type System struct {
@@ -152,14 +149,22 @@ type System struct {
 	bus   *bus.Bus
 	mshrs []mshr
 
-	// mshrsInUse counts valid entries and nextFill caches their earliest
-	// fill time (Never when none), so the per-cycle BeginCycle scan only
-	// runs on cycles a refill actually completes.
+	// mshrsInUse counts valid entries.
 	mshrsInUse int
-	nextFill   int64
-	// lineIdx maps a pending line to its MSHR index and freeIdx stacks
-	// the free indices, replacing the per-access linear scans.
+	// fillq holds the occupied MSHR indices in allocation order. Bus
+	// reservations are monotonic (bus.Reserve never books earlier than a
+	// previous reservation), so allocation order is also fill-time
+	// order: BeginCycle pops due refills from the head in O(1) instead
+	// of scanning the file, and the head's fill time is the exact
+	// next-fill bound.
+	fillq *queue.Ring[int]
+	// lineIdx maps a pending line to its MSHR index for large files
+	// (nil for the paper-sized 16-entry file, where walking the
+	// occupied FIFO beats hashing; high thread counts scale the file
+	// into the hundreds, where a linear probe per miss would be
+	// quadratic in outstanding misses).
 	lineIdx map[uint64]int
+	// freeIdx stacks the free MSHR indices.
 	freeIdx []int
 
 	now       int64
@@ -174,13 +179,15 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		cfg:      cfg,
-		l1:       cache.New(cfg.L1),
-		bus:      bus.New(cfg.BusBytesPerCycle),
-		mshrs:    make([]mshr, cfg.MSHRs),
-		nextFill: Never,
-		lineIdx:  make(map[uint64]int, cfg.MSHRs),
-		freeIdx:  make([]int, 0, cfg.MSHRs),
+		cfg:     cfg,
+		l1:      cache.New(cfg.L1),
+		bus:     bus.New(cfg.BusBytesPerCycle),
+		mshrs:   make([]mshr, cfg.MSHRs),
+		fillq:   queue.New[int](cfg.MSHRs),
+		freeIdx: make([]int, 0, cfg.MSHRs),
+	}
+	if cfg.MSHRs > smallMSHRFile {
+		s.lineIdx = make(map[uint64]int, cfg.MSHRs)
 	}
 	// Pop order is ascending index for determinism.
 	for i := cfg.MSHRs - 1; i >= 0; i-- {
@@ -188,6 +195,11 @@ func New(cfg Config) (*System, error) {
 	}
 	return s, nil
 }
+
+// smallMSHRFile is the file size up to which findMSHR's FIFO walk beats
+// a hash lookup (the paper's machine has 16 entries; latency scaling and
+// high thread counts grow the file into the hundreds).
+const smallMSHRFile = 32
 
 // Config returns the configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -204,19 +216,6 @@ func (s *System) Stats() Stats { return s.stats }
 // MSHRsInUse returns the number of occupied MSHRs.
 func (s *System) MSHRsInUse() int { return s.mshrsInUse }
 
-// NextEventAt returns the earliest cycle strictly after now at which a
-// pending refill completes (installing a line and freeing its MSHR), or
-// Never when no miss is outstanding. The core's fast-forward uses it to
-// bound cycle skips.
-func (s *System) NextEventAt(now int64) int64 {
-	if s.nextFill > now {
-		return s.nextFill
-	}
-	// A fill due at or before now is an immediate event (the next
-	// BeginCycle installs it); report the following cycle.
-	return now + 1
-}
-
 // BeginCycle advances the subsystem to the given cycle: it releases the
 // access ports and completes any refills whose data has arrived,
 // installing lines in L1 (write-backs of dirty victims reserve bus
@@ -225,22 +224,15 @@ func (s *System) NextEventAt(now int64) int64 {
 func (s *System) BeginCycle(now int64) int {
 	s.now = now
 	s.portsUsed = 0
-	if s.nextFill > now {
-		return 0 // no refill due: skip the MSHR scan
-	}
-	lineBytes := s.cfg.L1.LineBytes
 	filled := 0
-	next := Never
-	for i := range s.mshrs {
-		e := &s.mshrs[i]
-		if !e.valid {
-			continue
+	for {
+		i, ok := s.fillq.Peek()
+		if !ok {
+			break
 		}
+		e := &s.mshrs[i]
 		if e.fill > now {
-			if e.fill < next {
-				next = e.fill
-			}
-			continue
+			break // FIFO in fill order: nothing behind is due either
 		}
 		victim := s.l1.Fill(e.line)
 		if e.dirty {
@@ -250,24 +242,39 @@ func (s *System) BeginCycle(now int64) int {
 		filled++
 		if victim.Valid && victim.Dirty {
 			// The write-back occupies the data bus for one line transfer.
-			s.bus.Reserve(now, s.bus.TransferCycles(lineBytes))
+			s.bus.Reserve(now, s.bus.TransferCycles(s.cfg.L1.LineBytes))
 			s.stats.Writebacks++
 		}
 		e.valid = false
 		s.mshrsInUse--
-		delete(s.lineIdx, e.line)
+		if s.lineIdx != nil {
+			delete(s.lineIdx, e.line)
+		}
 		s.freeIdx = append(s.freeIdx, i)
+		s.fillq.Drop()
 	}
-	s.nextFill = next
 	return filled
 }
 
-// findMSHR returns the pending entry for line, if any.
+// findMSHR returns the pending entry for line, if any. Small files walk
+// the fill FIFO, which holds exactly the occupied entries (usually a
+// handful); large files use the line index.
 func (s *System) findMSHR(line uint64) *mshr {
-	if i, ok := s.lineIdx[line]; ok {
-		return &s.mshrs[i]
+	if s.lineIdx != nil {
+		if i, ok := s.lineIdx[line]; ok {
+			return &s.mshrs[i]
+		}
+		return nil
 	}
-	return nil
+	var found *mshr
+	s.fillq.Scan(func(i int) bool {
+		if e := &s.mshrs[i]; e.line == line {
+			found = e
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // access implements the shared load/store path. isStore selects
@@ -304,7 +311,6 @@ func (s *System) access(addr uint64, isStore bool) Result {
 	idx := s.freeIdx[len(s.freeIdx)-1]
 	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
 	e := &s.mshrs[idx]
-	s.lineIdx[line] = idx
 	s.portsUsed++
 	s.count(isStore, true)
 	// Tag probe (hit latency), one cycle for the request on the address/
@@ -316,9 +322,12 @@ func (s *System) access(addr uint64, isStore bool) Result {
 	l2Done := reqDone + s.cfg.L2Latency
 	fill := s.bus.Reserve(l2Done, s.bus.TransferCycles(s.cfg.L1.LineBytes))
 	*e = mshr{line: line, fill: fill, dirty: isStore, valid: true}
+	if s.lineIdx != nil {
+		s.lineIdx[line] = idx
+	}
 	s.mshrsInUse++
-	if fill < s.nextFill {
-		s.nextFill = fill
+	if !s.fillq.Push(idx) {
+		panic("mem: fill queue full despite a free MSHR")
 	}
 	return Result{OK: true, ReadyAt: fill, Miss: true}
 }

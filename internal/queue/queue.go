@@ -79,6 +79,19 @@ func (r *Ring[T]) Pop() (T, bool) {
 	return v, true
 }
 
+// Drop removes the head element without returning or zeroing it. It is
+// Pop for the simulator's hottest paths, where the element is known (a
+// preceding Peek) and remains reachable elsewhere (pooled DynInsts are
+// never garbage), so the release-for-GC store would be pure overhead. It
+// panics on an empty queue.
+func (r *Ring[T]) Drop() {
+	if r.size == 0 {
+		panic("queue: Drop on empty queue")
+	}
+	r.head = r.wrap(r.head + 1)
+	r.size--
+}
+
 // Peek returns the head element without removing it. The second result is
 // false if the queue is empty.
 func (r *Ring[T]) Peek() (T, bool) {

@@ -26,18 +26,30 @@ func (p PhysReg) Valid() bool { return p >= 0 }
 // ReadyAt returns it for such registers.
 const NeverReady = int64(1) << 62
 
+// Entry is one physical register's state: the cycle its value becomes
+// available, plus the classification flags the core's stall accounting
+// and perceived-latency sampling maintain per register. Timing and flags
+// share one entry so the issue stage's ready check and the sampling that
+// follows touch a single cache line.
+type Entry struct {
+	// ReadyAt is the cycle the value is available (NeverReady while the
+	// producer's delivery time is unknown).
+	ReadyAt int64
+	// MissedLoad marks that the value is produced by a load that missed
+	// in L1 (or is queued behind a full MSHR file and will almost
+	// certainly miss).
+	MissedLoad bool
+	// Sampled marks that the perceived-latency sample for that load has
+	// been recorded (one sample per missed load, at its first consumer).
+	Sampled bool
+}
+
 // File is a physical register file. Create with New.
 type File struct {
-	readyAt []int64
+	entries []Entry
 	free    []PhysReg // stack of free registers
 	inFree  []bool    // per-register free-list membership (O(1) double-free check)
 	inUse   int
-
-	// nextCache memoizes NextReadyAfter: while the cached cycle is still
-	// in the future it remains the exact minimum (ready times only change
-	// through SetReadyAt, which folds in below), so the scan reruns only
-	// after the cached event has passed.
-	nextCache int64
 }
 
 // New returns a file with n physical registers, all free. n must be
@@ -47,10 +59,9 @@ func New(n int) *File {
 		panic(fmt.Sprintf("regfile: size %d must be positive", n))
 	}
 	f := &File{
-		readyAt:   make([]int64, n),
-		free:      make([]PhysReg, n),
-		inFree:    make([]bool, n),
-		nextCache: 0, // 0 = immediately stale: first query scans
+		entries: make([]Entry, n),
+		free:    make([]PhysReg, n),
+		inFree:  make([]bool, n),
 	}
 	// Pop order is ascending register number for determinism.
 	for i := 0; i < n; i++ {
@@ -61,7 +72,7 @@ func New(n int) *File {
 }
 
 // Size returns the total number of physical registers.
-func (f *File) Size() int { return len(f.readyAt) }
+func (f *File) Size() int { return len(f.entries) }
 
 // FreeCount returns the number of free registers.
 func (f *File) FreeCount() int { return len(f.free) }
@@ -71,7 +82,8 @@ func (f *File) InUse() int { return f.inUse }
 
 // Alloc takes a register from the free list. It reports failure when the
 // file is exhausted (dispatch must stall). A fresh register is not ready
-// until the producer calls SetReadyAt.
+// until the producer calls SetReadyAt, and its classification flags are
+// cleared.
 func (f *File) Alloc() (PhysReg, bool) {
 	if len(f.free) == 0 {
 		return None, false
@@ -79,7 +91,7 @@ func (f *File) Alloc() (PhysReg, bool) {
 	p := f.free[len(f.free)-1]
 	f.free = f.free[:len(f.free)-1]
 	f.inFree[p] = false
-	f.readyAt[p] = NeverReady
+	f.entries[p] = Entry{ReadyAt: NeverReady}
 	f.inUse++
 	return p, true
 }
@@ -101,7 +113,6 @@ func (f *File) Free(p PhysReg) {
 	if p == None {
 		return
 	}
-	f.check(p)
 	if f.inFree[p] {
 		panic(fmt.Sprintf("regfile: double free of p%d", p))
 	}
@@ -111,43 +122,18 @@ func (f *File) Free(p PhysReg) {
 }
 
 // SetReadyAt records that p's value becomes available at the given cycle.
+// It sits on the simulator's hottest path: range errors surface as the
+// runtime's bounds panic rather than a bespoke check. Result-delivery
+// *events* are not tracked here — the core inserts every known delivery
+// time into its event calendar at the call sites that compute them.
 func (f *File) SetReadyAt(p PhysReg, cycle int64) {
-	f.check(p)
-	f.readyAt[p] = cycle
-	if cycle < f.nextCache {
-		// The new delivery may undercut the cached minimum. If it is
-		// already past at the next query, the staleness check rescans.
-		f.nextCache = cycle
-	}
+	f.entries[p].ReadyAt = cycle
 }
 
 // ReadyAt returns the cycle p's value becomes available (a very large
 // sentinel if unknown yet).
 func (f *File) ReadyAt(p PhysReg) int64 {
-	f.check(p)
-	return f.readyAt[p]
-}
-
-// NextReadyAfter returns the earliest ReadyAt strictly after now across
-// the whole file, or the not-yet-known sentinel when no register's value
-// is scheduled to arrive. Registers on the free list retain stale (past)
-// ready times and so never contribute; the result is the lower bound the
-// core's fast-forward uses for operand-arrival events.
-func (f *File) NextReadyAfter(now int64) int64 {
-	// While the cached minimum is still in the future it is exact: all
-	// ready times > now are a subset of those seen by the cached scan,
-	// and the cached minimum itself is among them.
-	if f.nextCache > now {
-		return f.nextCache
-	}
-	next := int64(NeverReady)
-	for _, at := range f.readyAt {
-		if at > now && at < next {
-			next = at
-		}
-	}
-	f.nextCache = next
-	return next
+	return f.entries[p].ReadyAt
 }
 
 // Ready reports whether p's value is available at cycle now. The absent
@@ -156,12 +142,18 @@ func (f *File) Ready(p PhysReg, now int64) bool {
 	if p == None {
 		return true
 	}
-	f.check(p)
-	return f.readyAt[p] <= now
+	return f.entries[p].ReadyAt <= now
 }
 
-func (f *File) check(p PhysReg) {
-	if p < 0 || int(p) >= len(f.readyAt) {
-		panic(fmt.Sprintf("regfile: physical register %d out of range [0,%d)", p, len(f.readyAt)))
-	}
+// RegReady is Ready for callers that have already excluded None — the
+// per-cycle issue classification — saving the sentinel branch.
+func (f *File) RegReady(p PhysReg, now int64) bool {
+	return f.entries[p].ReadyAt <= now
+}
+
+// Entry returns p's state for in-place reads and flag updates. The
+// pointer is valid until the file is garbage collected; entries are
+// never reallocated.
+func (f *File) Entry(p PhysReg) *Entry {
+	return &f.entries[p]
 }

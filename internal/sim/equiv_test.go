@@ -103,6 +103,13 @@ func TestEquivalenceFigureConfigs(t *testing.T) {
 		cfg{name: "fig5/dec", machine: config.Figure2(8).WithL2Latency(64), threads: 8},
 		cfg{name: "fig5/nondec", machine: config.Figure2(8).WithL2Latency(64).NonDecoupled(), threads: 8},
 	)
+	// Beyond the event calendar's wheel window (4096 cycles): every
+	// refill event takes the far-overflow path and skips can span whole
+	// wheel revolutions. No figure sweeps this far; the scheduler must
+	// still be exact.
+	cases = append(cases,
+		cfg{name: "far-window", machine: config.Figure2(2).WithL2Latency(6000), threads: 2},
+	)
 
 	for _, c := range cases {
 		opts := Options{

@@ -29,9 +29,9 @@ type Options struct {
 	// zero applies DefaultMaxCycles.
 	MaxCycles int64
 	// Stepped forces cycle-by-cycle simulation, disabling the core's
-	// fast-forward over idle stretches. Results are bit-identical either
-	// way (enforced by the equivalence tests); stepping exists as the
-	// golden reference and for debugging.
+	// event-calendar fast-forward over idle stretches. Results are
+	// bit-identical either way (enforced by the equivalence tests);
+	// stepping exists as the golden reference and for debugging.
 	Stepped bool
 }
 

@@ -28,6 +28,20 @@ type Reader interface {
 	Next(inst *isa.Inst) bool
 }
 
+// Peeker is an optional Reader extension for zero-copy lookahead: the
+// core's fetch stage must inspect the next instruction before deciding
+// to consume it (control-speculation limits stop *before* a branch).
+// PeekNext returns a pointer to the next record without consuming it —
+// valid only until the next PeekNext/Consume/Next call, and read-only —
+// and Consume advances past it. Readers backed by in-memory buffers
+// (interned workload streams) implement it so the peek costs no copy;
+// everything else goes through the caller's own one-instruction buffer.
+type Peeker interface {
+	Reader
+	PeekNext() (*isa.Inst, bool)
+	Consume()
+}
+
 // Func adapts a function to the Reader interface.
 type Func func(inst *isa.Inst) bool
 

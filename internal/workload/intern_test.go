@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// readN pulls n instructions from a reader into a slice.
+func readN(t *testing.T, r interface{ Next(*isa.Inst) bool }, n int) []isa.Inst {
+	t.Helper()
+	out := make([]isa.Inst, n)
+	for i := range out {
+		if !r.Next(&out[i]) {
+			t.Fatalf("stream ended at %d/%d", i, n)
+		}
+	}
+	return out
+}
+
+// TestInternMatchesLiveGeneration: the first reader for a key runs live
+// (no point buffering a one-shot stream), every later reader is interned
+// and must be bit-identical to the raw generator.
+func TestInternMatchesLiveGeneration(t *testing.T) {
+	b, err := ByName("su2cor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ReaderOpts{AddrOffset: ThreadAddrOffset(2), Seed: 7}
+	if _, ok := b.NewReader(opts).(*internReader); ok {
+		t.Fatal("first reader for a key should generate live, not interned")
+	}
+	r := b.NewReader(opts)
+	if _, ok := r.(*internReader); !ok {
+		t.Fatal("second reader for a key should be interned")
+	}
+	const n = 3 * internChunkLen // spans several chunks, ends mid-chunk
+	live := readN(t, b.newGenerator(opts), n+37)
+	interned := readN(t, r, n+37)
+	for i := range live {
+		if live[i] != interned[i] {
+			t.Fatalf("instruction %d differs: live %v, interned %v", i, live[i], interned[i])
+		}
+	}
+}
+
+// TestInternConcurrentReaders: concurrent readers of one stream (the
+// runner's worker-pool pattern) must each see the exact sequence. Run
+// with -race this also proves the publication protocol.
+func TestInternConcurrentReaders(t *testing.T) {
+	b, err := ByName("hydro2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ReaderOpts{AddrOffset: ThreadAddrOffset(1), Seed: 99}
+	want := readN(t, b.NewReader(opts), 4*internChunkLen) // first sighting: live
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := b.NewReader(opts)
+			var in isa.Inst
+			for i := range want {
+				if !r.Next(&in) || in != want[i] {
+					t.Errorf("instruction %d diverged", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestInternBudgetFallback: when the global budget freezes a stream, a
+// reader that outruns the shared prefix must continue bit-identically on
+// its private generator.
+func TestInternBudgetFallback(t *testing.T) {
+	saved := InternBudgetBytes
+	defer func() { InternBudgetBytes = saved }()
+
+	b, err := ByName("wave5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A seed no other test shares, so this stream is not already interned.
+	opts := ReaderOpts{AddrOffset: ThreadAddrOffset(3), Seed: 0xB0D6E7}
+	const n = 5 * internChunkLen
+	want := readN(t, b.NewReader(opts), n) // first sighting: live
+
+	// Allow one more chunk than currently used, then freeze.
+	_, used := internStats()
+	InternBudgetBytes = used + internChunkBytes
+	r := b.NewReader(opts)
+	if _, ok := r.(*internReader); !ok {
+		t.Fatal("second reader for a key should be interned")
+	}
+	got := readN(t, r, n)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("instruction %d differs after freeze: want %v, got %v", i, want[i], got[i])
+		}
+	}
+	if ir := r.(*internReader); ir.live == nil {
+		t.Fatal("reader never fell back to live generation despite the frozen stream")
+	}
+}
+
+// TestInternDisabled: a zero budget bypasses interning entirely.
+func TestInternDisabled(t *testing.T) {
+	saved := InternBudgetBytes
+	defer func() { InternBudgetBytes = saved }()
+	InternBudgetBytes = 0
+	b, err := ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.NewReader(ReaderOpts{}).(*internReader); ok {
+		t.Fatal("interning not disabled by a zero budget")
+	}
+}

@@ -46,23 +46,43 @@ func ThreadAddrOffset(threadID int) uint64 {
 // benchmarks concatenated in a rotated order (thread 0 starts at
 // benchmark 0, thread 1 at benchmark 1, ...), SegmentLen instructions per
 // segment, forever.
+//
+// Mix streams are interned at the mix level (see intern.go): the second
+// and later requests for the same (thread, options) stream — every sweep
+// point after the first, every benchmark iteration — replay a shared
+// packed buffer instead of re-running the segment generators.
 func Mix(threadID int, opts MixOpts) trace.Reader {
 	if threadID < 0 {
 		panic(fmt.Sprintf("workload: negative thread id %d", threadID))
 	}
+	if opts.SegmentLen <= 0 {
+		// Normalize before the intern key so explicit-default and
+		// zero-value options name the same stream.
+		opts.SegmentLen = DefaultSegmentLen
+	}
+	if InternBudgetBytes > 0 {
+		key := fmt.Sprintf("mix|t=%d|seg=%d|seed=%d", threadID, opts.SegmentLen, opts.Seed)
+		if s := internForKey(key, func() trace.Reader { return newMixReader(threadID, opts) }); s != nil {
+			return &internReader{s: s}
+		}
+	}
+	return newMixReader(threadID, opts)
+}
+
+// newMixReader builds the live segment-rotating reader behind Mix.
+func newMixReader(threadID int, opts MixOpts) trace.Reader {
 	segLen := opts.SegmentLen
 	if segLen <= 0 {
 		segLen = DefaultSegmentLen
 	}
 	benches := builtins()
-	m := &mixReader{
+	return &mixReader{
 		benches:  benches,
 		next:     threadID % len(benches),
 		segLen:   segLen,
 		addrOff:  ThreadAddrOffset(threadID),
 		seedBase: opts.Seed ^ (uint64(threadID)*0x9e3779b97f4a7c15 + 1),
 	}
-	return m
 }
 
 // MixSources builds one Mix reader per thread, rotated per the paper.
@@ -91,7 +111,10 @@ func (m *mixReader) Next(out *isa.Inst) bool {
 	for m.cur == nil || m.remaining <= 0 {
 		b := m.benches[m.next]
 		m.next = (m.next + 1) % len(m.benches)
-		m.cur = b.NewReader(ReaderOpts{
+		// Segments generate live (newGenerator, not NewReader): mix
+		// streams are interned as a whole, so interning the segments too
+		// would only double-buffer the same instructions.
+		m.cur = b.newGenerator(ReaderOpts{
 			AddrOffset: m.addrOff,
 			Seed:       m.seedBase + m.segment,
 		})

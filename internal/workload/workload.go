@@ -188,10 +188,27 @@ type ReaderOpts struct {
 // NewReader returns an infinite instruction stream for the benchmark. It
 // panics on an invalid benchmark definition (the built-in set is validated
 // by tests; custom definitions should be validated by the caller).
+//
+// Streams are interned on reuse: when a second reader asks for the same
+// (benchmark spec, options) pair — as every sweep point after the first
+// does — the instructions are materialized once into a shared packed
+// buffer and replayed from then on (see intern.go), so sweep points stop
+// re-deriving identical traces. Set InternBudgetBytes to 0 to force live
+// generation.
 func (b Benchmark) NewReader(opts ReaderOpts) trace.Reader {
 	if err := b.Validate(); err != nil {
 		panic(err)
 	}
+	if InternBudgetBytes > 0 {
+		if s := internFor(b, opts); s != nil {
+			return &internReader{s: s}
+		}
+	}
+	return b.newGenerator(opts)
+}
+
+// newGenerator builds the underlying streaming kernel interpreter.
+func (b Benchmark) newGenerator(opts ReaderOpts) trace.Reader {
 	g := &generator{
 		bench: b,
 		rng:   rng.New(b.Seed ^ (opts.Seed * 0x9e3779b97f4a7c15)),
