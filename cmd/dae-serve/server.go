@@ -1,0 +1,215 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	daesim "repro"
+)
+
+// API limits.
+const (
+	// defaultMaxBody bounds request bodies (a Request is a few KB; custom
+	// workload models stay well under this).
+	defaultMaxBody = 8 << 20
+	// maxSweepRequests bounds one sweep submission.
+	maxSweepRequests = 4096
+)
+
+// server wires a shared Engine into the HTTP API. All endpoints speak
+// JSON; simulation results are served from the Engine's content-addressed
+// cache when present and computed through its bounded worker pool on a
+// miss.
+type server struct {
+	eng *daesim.Engine
+	// timeout caps one run's wall time (0 = none). Sweeps are capped as
+	// a whole.
+	timeout time.Duration
+	maxBody int64
+}
+
+// runResponse is one executed (or failed) request.
+type runResponse struct {
+	// Label echoes the request's display name.
+	Label string `json:"label,omitempty"`
+	// Hash is the request's content hash; GET /v1/runs/{hash} serves the
+	// same result from cache from now on.
+	Hash string `json:"hash,omitempty"`
+	// Cached reports whether the result was served without simulating
+	// (cache tier or deduplicated in-flight run).
+	Cached bool `json:"cached"`
+	// Report is the simulation result (absent on error).
+	Report *daesim.Report `json:"report,omitempty"`
+	// Error is the failure, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// sweepRequest is the POST /v1/sweeps body.
+type sweepRequest struct {
+	Requests []daesim.Request `json:"requests"`
+}
+
+// sweepResponse is the POST /v1/sweeps reply: one result per request, in
+// request order.
+type sweepResponse struct {
+	Results []runResponse `json:"results"`
+	// Failed counts results carrying an error.
+	Failed int `json:"failed"`
+}
+
+// healthResponse is the GET /healthz reply.
+type healthResponse struct {
+	OK bool `json:"ok"`
+	// Stats snapshots the Engine's lifetime counters.
+	Stats daesim.Stats `json:"stats"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// newHandler builds the HTTP API over eng.
+func newHandler(eng *daesim.Engine, timeout time.Duration, maxBody int64) http.Handler {
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	s := &server{eng: eng, timeout: timeout, maxBody: maxBody}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleRun)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /v1/runs/{hash}", s.handleGet)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON writes v with the same encoder settings dae-sim -json uses,
+// so the "report" object inside every response is byte-identical to the
+// CLI's output for the same Request.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // best effort: the client may already be gone
+}
+
+// statusFor maps an execution error to an HTTP status via the package's
+// typed sentinels.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, daesim.ErrInvalidRequest),
+		errors.Is(err, daesim.ErrUnknownBenchmark),
+		errors.Is(err, daesim.ErrInvalidConfig):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is written into the void but
+		// keeps access logs honest (nginx's 499 convention).
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// decode strictly parses the JSON body into v.
+func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode body: %w", err)
+	}
+	return nil
+}
+
+// runCtx applies the per-run wall cap to the request context.
+func (s *server) runCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// handleRun executes one Request: POST /v1/runs with a daesim.Request
+// body. Cached results return instantly with "cached": true.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req daesim.Request
+	if err := s.decode(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := s.runCtx(r)
+	defer cancel()
+	// RunBatch rather than Run for the per-result Cached flag.
+	results, _ := s.eng.RunBatch(ctx, []daesim.Request{req})
+	res := results[0]
+	if res.Err != nil {
+		writeJSON(w, statusFor(res.Err), errorResponse{Error: res.Err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		Label:  res.Request.Label,
+		Hash:   res.Hash,
+		Cached: res.Cached,
+		Report: &res.Report,
+	})
+}
+
+// handleSweep executes a batch: POST /v1/sweeps with {"requests": [...]}.
+// Individual failures never fail the sweep; each result carries its own
+// error and the reply is always 200 once the body parses.
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty sweep: requests must name at least one run"})
+		return
+	}
+	if len(req.Requests) > maxSweepRequests {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("sweep of %d requests exceeds the %d-request limit", len(req.Requests), maxSweepRequests)})
+		return
+	}
+	ctx, cancel := s.runCtx(r)
+	defer cancel()
+	results, _ := s.eng.RunBatch(ctx, req.Requests)
+	resp := sweepResponse{Results: make([]runResponse, len(results))}
+	for i, res := range results {
+		rr := runResponse{Label: res.Request.Label, Hash: res.Hash, Cached: res.Cached}
+		if res.Err != nil {
+			rr.Error = res.Err.Error()
+			resp.Failed++
+		} else {
+			rep := res.Report
+			rr.Report = &rep
+		}
+		resp.Results[i] = rr
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleGet serves a previously computed result by content hash:
+// GET /v1/runs/{hash}. It never simulates; unknown hashes are 404.
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	rep, ok := s.eng.Lookup(hash)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: fmt.Sprintf("no cached result for hash %q (POST the request to /v1/runs to compute it)", hash)})
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{Hash: hash, Cached: true, Report: &rep})
+}
+
+// handleHealth reports liveness and the Engine's counters.
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{OK: true, Stats: s.eng.Stats()})
+}

@@ -1,0 +1,303 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	daesim "repro"
+)
+
+// tinyOpts keeps handler-test simulations in the millisecond range.
+func tinyOpts() daesim.RunOpts {
+	return daesim.RunOpts{WarmupInsts: 500, MeasureInsts: 2_000}
+}
+
+func newTestServer(t *testing.T, opts daesim.EngineOpts, timeout time.Duration) (*httptest.Server, *daesim.Engine) {
+	t.Helper()
+	eng, err := daesim.NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(eng, timeout, defaultMaxBody))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+// do issues one JSON request and decodes the reply into out.
+func do(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode reply: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestRunEndpointGolden pins the full request/response JSON of
+// POST /v1/runs: the response must be exactly the envelope around the
+// report the public API computes for the same Request — the golden value
+// is derived, not hand-maintained, because the simulator is
+// deterministic.
+func TestRunEndpointGolden(t *testing.T) {
+	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 1}, 0)
+	req := daesim.MixRequest(daesim.Figure2(1), tinyOpts())
+	req.Label = "golden"
+
+	// Independent reference engine: determinism makes its report the
+	// golden value for the served one.
+	refEng, err := daesim.NewEngine(daesim.EngineOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReport, err := refEng.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+
+	var goldenBuf bytes.Buffer
+	enc := json.NewEncoder(&goldenBuf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(runResponse{
+		Label:  "golden",
+		Hash:   req.Hash(),
+		Cached: false,
+		Report: &wantReport,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), goldenBuf.String(); got != want {
+		t.Errorf("response is not byte-identical to the golden envelope\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+func TestRunEndpointCacheHitVsMiss(t *testing.T) {
+	ts, eng := newTestServer(t, daesim.EngineOpts{Workers: 1}, 0)
+	req := daesim.BenchmarkRequest("swim", daesim.Figure2(1), tinyOpts())
+
+	var first, second runResponse
+	if code := do(t, "POST", ts.URL+"/v1/runs", req, &first); code != 200 {
+		t.Fatalf("miss status %d", code)
+	}
+	if first.Cached || first.Hash != req.Hash() || first.Report == nil {
+		t.Fatalf("miss response: %+v", first)
+	}
+	if code := do(t, "POST", ts.URL+"/v1/runs", req, &second); code != 200 {
+		t.Fatalf("hit status %d", code)
+	}
+	if !second.Cached {
+		t.Error("second POST of the same request not served from cache")
+	}
+	if a, _ := json.Marshal(first.Report); true {
+		if b, _ := json.Marshal(second.Report); !bytes.Equal(a, b) {
+			t.Error("cached report differs from computed report")
+		}
+	}
+	if s := eng.Stats(); s.Simulated != 1 || s.CacheHits != 1 {
+		t.Errorf("engine stats %+v, want 1 simulated + 1 hit", s)
+	}
+}
+
+func TestGetByHashEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 1}, 0)
+	req := daesim.MixRequest(daesim.Figure2(1), tinyOpts())
+
+	// Unknown hash: 404 with a JSON error body.
+	var errResp errorResponse
+	if code := do(t, "GET", ts.URL+"/v1/runs/"+req.Hash(), nil, &errResp); code != http.StatusNotFound {
+		t.Fatalf("unknown hash status %d, want 404", code)
+	}
+	if !strings.Contains(errResp.Error, "no cached result") {
+		t.Errorf("404 body: %+v", errResp)
+	}
+
+	// Compute it, then GET serves it without re-simulating.
+	var run runResponse
+	if code := do(t, "POST", ts.URL+"/v1/runs", req, &run); code != 200 {
+		t.Fatalf("POST status %d", code)
+	}
+	var got runResponse
+	if code := do(t, "GET", ts.URL+"/v1/runs/"+req.Hash(), nil, &got); code != 200 {
+		t.Fatalf("GET status %d", code)
+	}
+	if !got.Cached || got.Report == nil {
+		t.Fatalf("GET response: %+v", got)
+	}
+	a, _ := json.Marshal(run.Report)
+	b, _ := json.Marshal(got.Report)
+	if !bytes.Equal(a, b) {
+		t.Error("GET served a different report than the POST computed")
+	}
+}
+
+func TestSweepEndpointPartialFailure(t *testing.T) {
+	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 2}, 0)
+	sweep := sweepRequest{Requests: []daesim.Request{
+		daesim.MixRequest(daesim.Figure2(1), tinyOpts()),
+		daesim.BenchmarkRequest("quake3", daesim.Figure2(1), tinyOpts()), // invalid
+		daesim.BenchmarkRequest("swim", daesim.Figure2(1), tinyOpts()),
+	}}
+	var resp sweepResponse
+	if code := do(t, "POST", ts.URL+"/v1/sweeps", sweep, &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Results) != 3 || resp.Failed != 1 {
+		t.Fatalf("results=%d failed=%d, want 3/1", len(resp.Results), resp.Failed)
+	}
+	if resp.Results[0].Error != "" || resp.Results[0].Report == nil {
+		t.Errorf("result 0: %+v", resp.Results[0])
+	}
+	if !strings.Contains(resp.Results[1].Error, "unknown benchmark") || resp.Results[1].Report != nil {
+		t.Errorf("result 1: %+v", resp.Results[1])
+	}
+	if resp.Results[2].Error != "" || resp.Results[2].Report == nil {
+		t.Errorf("result 2: %+v", resp.Results[2])
+	}
+}
+
+func TestValidationMapsToBadRequest(t *testing.T) {
+	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 1}, 0)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed json", `{"machine": `},
+		{"unknown field", `{"machien": {}}`},
+		{"zero threads", `{"machine": {"Threads": 0}, "workload": {"kind": "mix"}}`},
+		{"unknown benchmark", `{"machine": {"Threads": 1}, "workload": {"kind": "bench", "bench": "quake3"}}`},
+		{"negative budget", `{"workload": {"kind": "mix"}, "budget": {"warmupInsts": -1, "measureInsts": 100}}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body errorResponse
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%+v)", tc.name, resp.StatusCode, body)
+		}
+		if body.Error == "" {
+			t.Errorf("%s: missing JSON error body", tc.name)
+		}
+	}
+
+	// Empty and oversized sweeps are rejected before any work happens.
+	for _, body := range []string{`{"requests": []}`, `{}`} {
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("empty sweep %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestClientCancellationAbortsRun(t *testing.T) {
+	ts, eng := newTestServer(t, daesim.EngineOpts{Workers: 1}, 0)
+	// A run only cancellation can end quickly.
+	req := daesim.MixRequest(daesim.Figure2(1), daesim.RunOpts{WarmupInsts: 500, MeasureInsts: 500_000_000})
+	raw, _ := json.Marshal(req)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	httpReq, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/runs", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := http.DefaultClient.Do(httpReq); !errors.Is(err, context.Canceled) {
+		t.Fatalf("client saw %v, want context.Canceled", err)
+	}
+	// The server must notice the disconnect and abort the simulation
+	// (the engine records it as a failure) well before the run's natural
+	// length.
+	deadline := time.Now().Add(2 * time.Second)
+	for eng.Stats().Failures == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never aborted the abandoned simulation")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("abort took %v", elapsed)
+	}
+	// Aborted work is not cached, and the server still works.
+	if _, ok := eng.Lookup(req.Hash()); ok {
+		t.Error("aborted run left a cache entry")
+	}
+	var health healthResponse
+	if code := do(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 || !health.OK {
+		t.Fatalf("healthz after abort: code=%d %+v", code, health)
+	}
+}
+
+func TestServerTimeoutMapsToGatewayTimeout(t *testing.T) {
+	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 1}, 50*time.Millisecond)
+	req := daesim.MixRequest(daesim.Figure2(1), daesim.RunOpts{WarmupInsts: 500, MeasureInsts: 500_000_000})
+	var body errorResponse
+	if code := do(t, "POST", ts.URL+"/v1/runs", req, &body); code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%+v)", code, body)
+	}
+}
+
+func TestHealthzGolden(t *testing.T) {
+	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 1}, 0)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	want := fmt.Sprintf("{\n  \"ok\": true,\n  \"stats\": {\n    \"Simulated\": 0,\n    \"CacheHits\": 0,\n    \"Failures\": 0,\n    \"CacheWriteErrors\": 0\n  }\n}\n")
+	if buf.String() != want {
+		t.Errorf("healthz body:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

@@ -10,15 +10,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	daesim "repro"
-	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -38,7 +40,9 @@ func main() {
 		mix          = flag.Bool("mixdetail", false, "also print the graduated instruction mix")
 		traceFiles   = flag.String("trace", "", "comma-separated trace files (one per thread; overrides -bench/mix)")
 		jsonOut      = flag.Bool("json", false, "emit the report as JSON (for scripting)")
-		cacheDir     = flag.String("cache", "", "on-disk result cache directory shared with dae-sweep (bench/mix runs only)")
+		cacheDir     = flag.String("cache", "", "on-disk result cache directory shared with dae-sweep and dae-serve (bench/mix runs only)")
+		hashOnly     = flag.Bool("hash", false, "print the run's Request content hash and exit without simulating")
+		requestOut   = flag.Bool("request", false, "print the run's Request JSON (the dae-serve POST /v1/runs body) and exit without simulating")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (inspect with go tool pprof)")
 	)
 	flag.Parse()
@@ -77,15 +81,41 @@ func main() {
 		m.FetchPolicy = daesim.FetchRoundRobin
 	}
 
+	// Ctrl-C cancels the simulation through the Engine's context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := daesim.RunOpts{WarmupInsts: *warmup, MeasureInsts: *measure, Seed: *seed}
 	var (
 		rep daesim.Report
 		err error
 	)
 	if *traceFiles != "" {
-		rep, err = runFromFiles(m, strings.Split(*traceFiles, ","), opts)
+		if *hashOnly || *requestOut {
+			fail(fmt.Errorf("-hash/-request require a synthetic workload (trace files are not content-addressed)"))
+		}
+		rep, err = runFromFiles(ctx, m, strings.Split(*traceFiles, ","), opts)
 	} else {
-		rep, err = runJob(m, *bench, *cacheDir, opts)
+		req := daesim.MixRequest(m, opts)
+		what := "mix"
+		if *bench != "" {
+			req = daesim.BenchmarkRequest(*bench, m, opts)
+			what = *bench
+		}
+		req.Label = fmt.Sprintf("dae-sim %s threads=%d L2=%d", what, m.Threads, m.Mem.L2Latency)
+		if *hashOnly {
+			fmt.Println(req.Hash())
+			return
+		}
+		if *requestOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(req); err != nil {
+				fail(err)
+			}
+			return
+		}
+		rep, err = runRequest(ctx, req, *cacheDir)
 	}
 	if err != nil {
 		fail(err)
@@ -106,48 +136,21 @@ func main() {
 	}
 }
 
-// runJob executes a synthetic-workload run through the batch runner, so
-// a single point computed here lands in (and is served from) the same
-// result cache dae-sweep uses.
-func runJob(m daesim.Machine, bench, cacheDir string, opts daesim.RunOpts) (daesim.Report, error) {
-	// Preserve the daesim.RunOpts convention: explicit zero budgets
-	// select the documented defaults.
-	if opts.WarmupInsts <= 0 {
-		opts.WarmupInsts = daesim.DefaultWarmup
-	}
-	if opts.MeasureInsts <= 0 {
-		opts.MeasureInsts = daesim.DefaultMeasure
-	}
-	w := runner.MixWorkload(opts.Seed, opts.SegmentLen)
-	key := fmt.Sprintf("dae-sim mix threads=%d L2=%d", m.Threads, m.Mem.L2Latency)
-	if bench != "" {
-		w = runner.BenchWorkload(bench, opts.Seed)
-		key = fmt.Sprintf("dae-sim %s threads=%d L2=%d", bench, m.Threads, m.Mem.L2Latency)
-	}
-	r, err := runner.New(runner.Options{Workers: 1, CacheDir: cacheDir})
+// runRequest executes a synthetic-workload run through the public
+// Engine, so a single point computed here lands in (and is served from)
+// the same content-addressed result cache dae-sweep and dae-serve use.
+func runRequest(ctx context.Context, req daesim.Request, cacheDir string) (daesim.Report, error) {
+	eng, err := daesim.NewEngine(daesim.EngineOpts{Workers: 1, CacheDir: cacheDir})
 	if err != nil {
 		return daesim.Report{}, err
 	}
-	results, err := r.Run([]runner.Job{{
-		Key:      key,
-		Machine:  m,
-		Workload: w,
-		Budget: runner.Budget{
-			WarmupInsts:  opts.WarmupInsts,
-			MeasureInsts: opts.MeasureInsts,
-			MaxCycles:    opts.MaxCycles,
-		},
-	}})
-	if err != nil {
-		return daesim.Report{}, err
-	}
-	return results[0].Report, nil
+	return eng.Run(ctx, req)
 }
 
 // runFromFiles drives the machine with pre-recorded trace files (one per
 // thread), as produced by `dae-trace gen`. Finite traces run to
 // completion; the measurement window still applies if smaller.
-func runFromFiles(m daesim.Machine, paths []string, opts daesim.RunOpts) (daesim.Report, error) {
+func runFromFiles(ctx context.Context, m daesim.Machine, paths []string, opts daesim.RunOpts) (daesim.Report, error) {
 	if len(paths) != m.Threads {
 		return daesim.Report{}, fmt.Errorf("%d trace files for %d threads", len(paths), m.Threads)
 	}
@@ -172,7 +175,7 @@ func runFromFiles(m daesim.Machine, paths []string, opts daesim.RunOpts) (daesim
 		}
 		sources[i] = fr
 	}
-	res, err := sim.Run(sim.Options{
+	res, err := sim.Run(ctx, sim.Options{
 		Machine:      m,
 		Sources:      sources,
 		WarmupInsts:  opts.WarmupInsts,

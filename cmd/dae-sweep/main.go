@@ -17,15 +17,20 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -40,6 +45,7 @@ type options struct {
 	cacheDir string
 	hashFile string
 	progress bool
+	jsonOut  bool
 }
 
 // parseArgs parses the command line into options. Errors are already
@@ -57,6 +63,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		cacheDir = fs.String("cache", "", "on-disk result cache directory: re-runs skip already-computed points and interrupted sweeps resume")
 		hashFile = fs.String("hashfile", "", "write the sorted result content hashes (one 'jobhash reporthash key' line per point) to this file; two runs of the same sweep must produce identical files (the CI determinism gate)")
 		progress = fs.Bool("progress", false, "report per-point progress on stderr")
+		jsonOut  = fs.Bool("json", false, "stream one JSON object per completed point to stdout (key, hash, cached, report) instead of the text tables; diagnostics and -progress stay on stderr, so stdout remains machine-parseable")
 	)
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -84,7 +91,22 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		cacheDir: *cacheDir,
 		hashFile: *hashFile,
 		progress: *progress,
+		jsonOut:  *jsonOut,
 	}, nil
+}
+
+// pointRecord is one line of the -json stream.
+type pointRecord struct {
+	// Key is the point's human-readable label and Hash its canonical
+	// content hash (shared with dae-sim -hash and dae-serve).
+	Key  string `json:"key"`
+	Hash string `json:"hash,omitempty"`
+	// Cached reports whether the point was served without simulating.
+	Cached bool `json:"cached"`
+	// Report is the result (absent on error).
+	Report *stats.Report `json:"report,omitempty"`
+	// Error is the point's failure, if any.
+	Error string `json:"error,omitempty"`
 }
 
 // run is main's testable body; it returns the process exit code.
@@ -103,13 +125,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Ctrl-C cancels the sweep; with -cache, a re-run resumes from the
+	// completed points.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.budget.Ctx = ctx
+
 	// One runner serves every figure of the invocation, so points shared
 	// between sweeps (fig3's thread axis inside fig5's L2=16 curve)
 	// simulate once; a cache directory extends that reuse across
 	// invocations.
 	ropts := runner.Options{Workers: opts.budget.Parallelism, CacheDir: opts.cacheDir}
-	if opts.progress {
-		ropts.OnProgress = func(p runner.Progress) {
+	// The per-point callback serializes under the batch lock, so the
+	// human -progress lines (stderr) and the machine-parseable -json
+	// stream (stdout) never interleave mid-record. The two streams are
+	// strictly separated: stdout carries only tables or JSON.
+	var jsonErr error
+	enc := json.NewEncoder(stdout)
+	ropts.OnProgress = func(p runner.Progress) {
+		if opts.progress {
 			switch {
 			case p.Err != nil:
 				fmt.Fprintf(stderr, "[%d/%d] FAIL %s: %v\n", p.Done, p.Total, p.Job.Key, p.Err)
@@ -119,6 +153,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "[%d/%d] done %s\n", p.Done, p.Total, p.Job.Key)
 			}
 		}
+		if opts.jsonOut {
+			rec := pointRecord{Key: p.Job.Key, Hash: p.Hash, Cached: p.Cached}
+			if p.Err != nil {
+				rec.Error = p.Err.Error()
+			} else {
+				rep := p.Report
+				rec.Report = &rep
+			}
+			if err := enc.Encode(rec); err != nil && jsonErr == nil {
+				jsonErr = err
+			}
+		}
+	}
+	if !opts.progress && !opts.jsonOut {
+		ropts.OnProgress = nil
 	}
 	r, err := runner.New(ropts)
 	if err != nil {
@@ -127,8 +176,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opts.budget.Runner = r
 
-	if err := sweep(opts.fig, opts.budget, opts.csvDir, stdout, stderr); err != nil {
+	// With -json the text tables are suppressed: stdout is the record
+	// stream.
+	tableOut := stdout
+	if opts.jsonOut {
+		tableOut = io.Discard
+	}
+	if err := sweep(opts.fig, opts.budget, opts.csvDir, tableOut, stderr); err != nil {
 		fmt.Fprintln(stderr, "dae-sweep:", err)
+		return 1
+	}
+	if jsonErr != nil {
+		fmt.Fprintln(stderr, "dae-sweep:", jsonErr)
 		return 1
 	}
 	if opts.hashFile != "" {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -163,5 +164,61 @@ func TestRunFigure3Table(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestJSONStreamKeepsStdoutMachineParseable is the stream-separation
+// gate: with -json and -progress together, every stdout line must parse
+// as a point record while all human diagnostics land on stderr.
+func TestJSONStreamKeepsStdoutMachineParseable(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(tinyArgs("-fig", "3", "-json", "-progress"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d stdout records for fig3's 6 points", len(lines))
+	}
+	for i, line := range lines {
+		var rec pointRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stdout line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if rec.Key == "" || rec.Hash == "" || rec.Report == nil || rec.Error != "" {
+			t.Errorf("record %d incomplete: %+v", i, rec)
+		}
+		if rec.Report.Graduated == 0 {
+			t.Errorf("record %d carries an empty report", i)
+		}
+	}
+	// Progress went to stderr, not stdout.
+	if !strings.Contains(stderr.String(), "[1/6]") {
+		t.Error("-progress output missing from stderr")
+	}
+	if strings.Contains(stdout.String(), "[1/6]") {
+		t.Error("-progress output leaked onto stdout")
+	}
+	// And without -json the tables appear; with it they are suppressed.
+	if strings.Contains(stdout.String(), "Figure 3") {
+		t.Error("text table leaked into the JSON stream")
+	}
+}
+
+// TestProgressNeverWritesStdout pins the satellite contract directly:
+// -progress alone must leave stdout exactly as table output (no
+// progress lines), keeping piped output clean.
+func TestProgressNeverWritesStdout(t *testing.T) {
+	var plain, withProgress, stderr1, stderr2 strings.Builder
+	if code := run(tinyArgs("-fig", "3"), &plain, &stderr1); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr1.String())
+	}
+	if code := run(tinyArgs("-fig", "3", "-progress"), &withProgress, &stderr2); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr2.String())
+	}
+	if plain.String() != withProgress.String() {
+		t.Error("-progress changed stdout")
+	}
+	if !strings.Contains(stderr2.String(), "done") {
+		t.Error("progress lines missing from stderr")
 	}
 }

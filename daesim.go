@@ -14,27 +14,37 @@
 //
 // # Quick start
 //
+// The unit of work is a Request — a serializable (machine, workload,
+// budget) triple with a stable content hash — executed by an Engine,
+// which caches, deduplicates and bounds concurrent simulations:
+//
+//	eng, err := daesim.NewEngine(daesim.EngineOpts{})
+//	if err != nil { ... }
 //	m := daesim.Figure2(3)                    // the paper's machine, 3 threads
-//	rep, err := daesim.RunMix(m, daesim.RunOpts{MeasureInsts: 1e6})
+//	rep, err := eng.Run(ctx, daesim.MixRequest(m, daesim.RunOpts{MeasureInsts: 1e6}))
 //	if err != nil { ... }
 //	fmt.Printf("IPC = %.2f\n", rep.IPC())
 //
-// Single benchmarks (the paper's Section-2 study) run with RunBenchmark:
+// Single benchmarks (the paper's Section-2 study) run the same way:
 //
 //	m := daesim.Section2().WithL2Latency(64)
-//	rep, err := daesim.RunBenchmark("swim", m, daesim.RunOpts{MeasureInsts: 1e6})
+//	rep, err := eng.Run(ctx, daesim.BenchmarkRequest("swim", m, daesim.RunOpts{MeasureInsts: 1e6}))
 //
-// All runs are deterministic: the same configuration and options always
-// produce identical statistics.
+// All runs are deterministic: the same Request always produces identical
+// statistics, which is why results are content-addressed by Request.Hash
+// and can be shared between processes (see EngineOpts.CacheDir) or
+// served over HTTP by cmd/dae-serve.
+//
+// The blocking package-level RunMix/RunBenchmark/RunCustom helpers
+// predate the Engine and remain as thin uncached wrappers; new code
+// should construct Requests and use an Engine.
 package daesim
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/config"
-	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -112,71 +122,44 @@ const (
 	DefaultMeasure = 1_000_000
 )
 
-func (o RunOpts) withDefaults() RunOpts {
-	if o.WarmupInsts <= 0 {
-		o.WarmupInsts = DefaultWarmup
-	}
-	if o.MeasureInsts <= 0 {
-		o.MeasureInsts = DefaultMeasure
-	}
-	return o
-}
-
 // RunBenchmark simulates one built-in benchmark. On a single-thread
 // machine the benchmark runs alone (the paper's Section-2 methodology); on
 // a multithreaded machine every context runs an independent copy with a
 // private address space and perturbed data-dependent behaviour (distinct
 // "inputs").
+//
+// Deprecated: RunBenchmark blocks without cancellation and caches
+// nothing. Use Engine.Run with a BenchmarkRequest; results are
+// bit-identical.
 func RunBenchmark(name string, m Machine, opts RunOpts) (Report, error) {
-	b, err := workload.ByName(name)
-	if err != nil {
-		return Report{}, err
-	}
-	return RunCustom(b, m, opts)
+	return runRequest(BenchmarkRequest(name, m, opts))
 }
 
 // RunCustom simulates a custom workload model (see Benchmark) the same way
 // RunBenchmark runs the built-ins.
+//
+// Deprecated: RunCustom blocks without cancellation and caches nothing.
+// Use Engine.Run with a CustomRequest; results are bit-identical.
 func RunCustom(b Benchmark, m Machine, opts RunOpts) (Report, error) {
-	if err := b.Validate(); err != nil {
-		return Report{}, err
-	}
-	opts = opts.withDefaults()
-	sources := make([]trace.Reader, m.Threads)
-	for t := 0; t < m.Threads; t++ {
-		sources[t] = b.NewReader(workload.ReaderOpts{
-			AddrOffset: workload.ThreadAddrOffset(t),
-			Seed:       opts.Seed + uint64(t),
-		})
-	}
-	return run(m, sources, opts)
+	return runRequest(CustomRequest(b, m, opts))
 }
 
 // RunMix simulates the paper's Section-3 workload: every context runs a
 // rotated concatenation of all ten benchmarks ("a sequence of traces from
 // all SpecFP95 programs, in a different order for each thread").
+//
+// Deprecated: RunMix blocks without cancellation and caches nothing.
+// Use Engine.Run with a MixRequest; results are bit-identical.
 func RunMix(m Machine, opts RunOpts) (Report, error) {
-	opts = opts.withDefaults()
-	sources := workload.MixSources(m.Threads, workload.MixOpts{
-		SegmentLen: opts.SegmentLen,
-		Seed:       opts.Seed,
-	})
-	return run(m, sources, opts)
+	return runRequest(MixRequest(m, opts))
 }
 
-func run(m Machine, sources []trace.Reader, opts RunOpts) (Report, error) {
-	res, err := sim.Run(sim.Options{
-		Machine:      m,
-		Sources:      sources,
-		WarmupInsts:  opts.WarmupInsts,
-		MeasureInsts: opts.MeasureInsts,
-		MaxCycles:    opts.MaxCycles,
-	})
-	if err != nil {
+// runRequest is the uncached one-shot execution path behind the
+// deprecated wrappers: same validation and same simulation as the
+// Engine, minus the cache, the deduplication and the worker semaphore.
+func runRequest(req Request) (Report, error) {
+	if err := req.Validate(); err != nil {
 		return Report{}, err
 	}
-	if !res.Completed {
-		return res.Report, fmt.Errorf("daesim: run hit the cycle cap before finishing its measurement window")
-	}
-	return res.Report, nil
+	return req.Normalized().job().Execute(context.Background(), nil, 0)
 }

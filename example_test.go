@@ -1,6 +1,7 @@
 package daesim_test
 
 import (
+	"context"
 	"fmt"
 
 	daesim "repro"
@@ -9,13 +10,18 @@ import (
 // The godoc examples run as part of the test suite; they use fixed seeds
 // and small budgets so their output is stable and fast.
 
-// Running the paper's machine on the multiprogrammed benchmark mix.
+// Running the paper's machine on the multiprogrammed benchmark mix
+// through the Engine — the canonical entry point.
 func Example() {
+	eng, err := daesim.NewEngine(daesim.EngineOpts{})
+	if err != nil {
+		panic(err)
+	}
 	m := daesim.Figure2(3) // Figure-2 machine, 3 hardware contexts
-	rep, err := daesim.RunMix(m, daesim.RunOpts{
+	rep, err := eng.Run(context.Background(), daesim.MixRequest(m, daesim.RunOpts{
 		WarmupInsts:  100_000,
 		MeasureInsts: 600_000,
-	})
+	}))
 	if err != nil {
 		panic(err)
 	}
@@ -29,30 +35,51 @@ func Example() {
 }
 
 // Comparing the decoupled machine against the paper's non-decoupled
-// baseline at a high memory latency.
+// baseline at a high memory latency, as one batch.
 func Example_nonDecoupled() {
+	eng, err := daesim.NewEngine(daesim.EngineOpts{})
+	if err != nil {
+		panic(err)
+	}
 	m := daesim.Figure2(2).WithL2Latency(64)
 	opts := daesim.RunOpts{WarmupInsts: 50_000, MeasureInsts: 300_000}
-	dec, err := daesim.RunMix(m, opts)
+	results, err := eng.RunBatch(context.Background(), []daesim.Request{
+		daesim.MixRequest(m, opts),
+		daesim.MixRequest(m.NonDecoupled(), opts),
+	})
 	if err != nil {
 		panic(err)
 	}
-	non, err := daesim.RunMix(m.NonDecoupled(), opts)
-	if err != nil {
-		panic(err)
-	}
+	dec, non := results[0].Report, results[1].Report
 	fmt.Printf("decoupling wins: %v\n", dec.IPC() > non.IPC()*1.5)
 	// Output:
 	// decoupling wins: true
 }
 
+// Requests are serializable and content-addressed: the hash names the
+// result in the Engine cache, on disk, and over dae-serve's HTTP API.
+func ExampleRequest_Hash() {
+	req := daesim.MixRequest(daesim.Figure2(2), daesim.RunOpts{Seed: 42})
+	relabelled := req
+	relabelled.Label = "tuesday night batch"
+	fmt.Printf("hash length: %d\n", len(req.Hash()))
+	fmt.Printf("label changes the hash: %v\n", req.Hash() != relabelled.Hash())
+	// Output:
+	// hash length: 64
+	// label changes the hash: false
+}
+
 // Running a single benchmark on the paper's Section-2 machine.
-func ExampleRunBenchmark() {
+func ExampleBenchmarkRequest() {
+	eng, err := daesim.NewEngine(daesim.EngineOpts{})
+	if err != nil {
+		panic(err)
+	}
 	m := daesim.Section2().WithL2Latency(256)
-	rep, err := daesim.RunBenchmark("tomcatv", m, daesim.RunOpts{
+	rep, err := eng.Run(context.Background(), daesim.BenchmarkRequest("tomcatv", m, daesim.RunOpts{
 		WarmupInsts:  50_000,
 		MeasureInsts: 200_000,
-	})
+	}))
 	if err != nil {
 		panic(err)
 	}
@@ -65,8 +92,9 @@ func ExampleRunBenchmark() {
 	// fp latency hidden: true
 }
 
-// Defining a custom workload model.
-func ExampleRunCustom() {
+// Defining a custom workload model. The full model is part of the
+// Request hash, so custom results cache like the built-ins.
+func ExampleCustomRequest() {
 	b := daesim.Benchmark{
 		Name: "saxpy",
 		Seed: 7,
@@ -80,10 +108,14 @@ func ExampleRunCustom() {
 			FPOps: 2, FPChains: 2, IntOps: 1,
 		}},
 	}
-	rep, err := daesim.RunCustom(b, daesim.Figure2(1), daesim.RunOpts{
+	eng, err := daesim.NewEngine(daesim.EngineOpts{})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := eng.Run(context.Background(), daesim.CustomRequest(b, daesim.Figure2(1), daesim.RunOpts{
 		WarmupInsts:  20_000,
 		MeasureInsts: 100_000,
-	})
+	}))
 	if err != nil {
 		panic(err)
 	}

@@ -3,13 +3,19 @@
 // hide memory latency that their combined working set thrashes the L1 and
 // the L1↔L2 bus saturates — it can never match the decoupled machine.
 //
+// The sweep runs as one Engine batch and demonstrates the progress
+// stream: Engine.Watch reports per-run graduation snapshots and
+// per-point completions live on stderr while the table builds.
+//
 //	go run ./examples/busstudy [-maxthreads 16]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	daesim "repro"
@@ -20,25 +26,46 @@ func main() {
 	measure := flag.Int64("measure", 400_000, "instructions per thread per run")
 	flag.Parse()
 
-	fmt.Println("L2 latency = 64 cycles: IPC and bus utilization vs contexts")
-	fmt.Println()
-	fmt.Printf("%7s  %24s  %24s\n", "", "decoupled", "non-decoupled")
-	fmt.Printf("%7s  %8s %15s  %8s %15s\n", "threads", "IPC", "bus", "IPC", "bus")
+	eng, err := daesim.NewEngine(daesim.EngineOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
+	// Live progress on stderr: completions as they happen.
+	events, stop := eng.Watch(256)
+	defer stop()
+	go func() {
+		for p := range events {
+			if p.Event == daesim.ProgressDone && p.Err == nil {
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", p.Done, p.Total, p.Label)
+			}
+		}
+	}()
+
+	var reqs []daesim.Request
 	for t := 1; t <= *maxThreads; t++ {
 		opts := daesim.RunOpts{
 			WarmupInsts:  100_000 * int64(t),
 			MeasureInsts: *measure * int64(t),
 		}
 		m := daesim.Figure2(t).WithL2Latency(64)
-		dec, err := daesim.RunMix(m, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		non, err := daesim.RunMix(m.NonDecoupled(), opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+		reqs = append(reqs,
+			daesim.MixRequest(m, opts),
+			daesim.MixRequest(m.NonDecoupled(), opts))
+	}
+	results, err := eng.RunBatch(context.Background(), reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("L2 latency = 64 cycles: IPC and bus utilization vs contexts")
+	fmt.Println()
+	fmt.Printf("%7s  %24s  %24s\n", "", "decoupled", "non-decoupled")
+	fmt.Printf("%7s  %8s %15s  %8s %15s\n", "threads", "IPC", "bus", "IPC", "bus")
+
+	for t := 1; t <= *maxThreads; t++ {
+		dec := results[2*(t-1)].Report
+		non := results[2*(t-1)+1].Report
 		fmt.Printf("%7d  %8.2f %6.1f%% %s  %8.2f %6.1f%% %s\n",
 			t,
 			dec.IPC(), 100*dec.BusUtilization, bar(dec.BusUtilization),

@@ -4,10 +4,15 @@
 // serializes on its own loads) and a blocked stencil kernel (the best
 // case), then compares their latency tolerance.
 //
+// Custom models are first-class Requests: the full benchmark definition
+// is part of the content hash, so custom-workload results cache, dedup
+// and serve over dae-serve exactly like the built-ins.
+//
 //	go run ./examples/custom
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,11 +54,16 @@ func main() {
 		}},
 	}
 
+	eng, err := daesim.NewEngine(daesim.EngineOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("decoupling quality of two custom kernels (1 thread):")
 	fmt.Printf("%-16s %8s %8s %12s %12s\n", "kernel", "L2=16", "L2=128", "loss", "perceived@128")
 	for _, b := range []daesim.Benchmark{stencil, gather} {
-		fast := run(b, 16)
-		slow := run(b, 128)
+		fast := run(eng, b, 16)
+		slow := run(eng, b, 128)
 		fmt.Printf("%-16s %8.2f %8.2f %11.1f%% %12.1f\n",
 			b.Name, fast.IPC(), slow.IPC(),
 			100*(1-slow.IPC()/fast.IPC()),
@@ -65,16 +75,16 @@ func main() {
 	fmt.Println("distinction the paper draws between its benchmarks.")
 }
 
-func run(b daesim.Benchmark, l2 int64) daesim.Report {
+func run(eng *daesim.Engine, b daesim.Benchmark, l2 int64) daesim.Report {
 	m := daesim.Figure2(1).WithL2Latency(l2)
 	// Scale the slip window with the latency (the paper's Section-2 rule)
 	// so the comparison isolates the *workloads'* decoupling quality from
 	// buffer sizing (see DESIGN.md §5 and ablation A6).
 	m.ScaleWithLatency = true
-	rep, err := daesim.RunCustom(b, m, daesim.RunOpts{
+	rep, err := eng.Run(context.Background(), daesim.CustomRequest(b, m, daesim.RunOpts{
 		WarmupInsts:  100_000,
 		MeasureInsts: 400_000,
-	})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 // Latency study: how tolerant is each machine to L2 latency? Reproduces
 // the shape of the paper's Figure 4 on a small budget and prints the
-// per-configuration IPC-loss curves.
+// per-configuration IPC-loss curves. The sweep runs as one Engine batch
+// across all cores.
 //
 //	go run ./examples/latency [-threads 4] [-measure 800000]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,28 +20,36 @@ func main() {
 	measure := flag.Int64("measure", 800_000, "instructions per run")
 	flag.Parse()
 
+	eng, err := daesim.NewEngine(daesim.EngineOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	latencies := []int64{1, 16, 32, 64, 128, 256}
 	opts := daesim.RunOpts{WarmupInsts: 150_000, MeasureInsts: *measure}
+	var reqs []daesim.Request
+	for _, lat := range latencies {
+		m := daesim.Figure2(*threads).WithL2Latency(lat)
+		// The large-latency points need latency-scaled buffering, as in
+		// the paper's Section 2 (see DESIGN.md).
+		m.ScaleWithLatency = true
+		reqs = append(reqs,
+			daesim.MixRequest(m, opts),
+			daesim.MixRequest(m.NonDecoupled(), opts))
+	}
+	results, err := eng.RunBatch(context.Background(), reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("L2 latency tolerance, %d threads (IPC and loss vs L2=1)\n\n", *threads)
 	fmt.Printf("%8s  %22s  %22s\n", "", "decoupled", "non-decoupled")
 	fmt.Printf("%8s  %10s %10s  %10s %10s\n", "L2", "IPC", "loss", "IPC", "loss")
 
 	var decBase, nonBase float64
-	for _, lat := range latencies {
-		m := daesim.Figure2(*threads).WithL2Latency(lat)
-		// The large-latency points need latency-scaled buffering, as in
-		// the paper's Section 2 (see DESIGN.md).
-		m.ScaleWithLatency = true
-
-		dec, err := daesim.RunMix(m, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		non, err := daesim.RunMix(m.NonDecoupled(), opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, lat := range latencies {
+		dec := results[2*i].Report
+		non := results[2*i+1].Report
 		if lat == 1 {
 			decBase, nonBase = dec.IPC(), non.IPC()
 		}

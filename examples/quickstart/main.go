@@ -1,10 +1,11 @@
-// Quickstart: build the paper's machine, run the multiprogrammed mix, and
-// print the headline statistics.
+// Quickstart: build the paper's machine, run the multiprogrammed mix
+// through the Engine, and print the headline statistics.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,30 +13,44 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
+	// The Engine validates, caches and deduplicates every Request it
+	// executes; one engine serves a whole program (or, via dae-serve, a
+	// whole fleet of clients).
+	eng, err := daesim.NewEngine(daesim.EngineOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// The paper's Figure-2 machine with three hardware contexts — the
 	// configuration where the AP first saturates (Section 3.1).
 	machine := daesim.Figure2(3)
 
 	// Each context runs a rotated sequence of the ten SPEC FP95 workload
-	// models, exactly like the paper's Section-3 experiments.
-	report, err := daesim.RunMix(machine, daesim.RunOpts{
+	// models, exactly like the paper's Section-3 experiments. The Request
+	// is pure data: print req.Hash() and any other process (or a
+	// dae-serve instance) can name this exact result.
+	req := daesim.MixRequest(machine, daesim.RunOpts{
 		WarmupInsts:  200_000,
 		MeasureInsts: 1_500_000,
 	})
+	report, err := eng.Run(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println(report)
+	fmt.Printf("request hash: %s\n", req.Hash())
 	fmt.Printf("headline: %.2f IPC on a 3-context decoupled machine "+
 		"(the paper reports 6.19)\n", report.IPC())
 
 	// Decoupling is the latency-hiding mechanism: compare against the
 	// same machine with the instruction queues' slippage disabled.
-	nonDec, err := daesim.RunMix(machine.NonDecoupled(), daesim.RunOpts{
+	nonDec, err := eng.Run(ctx, daesim.MixRequest(machine.NonDecoupled(), daesim.RunOpts{
 		WarmupInsts:  200_000,
 		MeasureInsts: 1_500_000,
-	})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

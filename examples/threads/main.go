@@ -2,13 +2,20 @@
 // need to reach its peak throughput? Reproduces the solid lines of the
 // paper's Figure 5 and prints where each machine saturates.
 //
+// The whole sweep is submitted as ONE Engine batch: the points execute
+// concurrently across the worker pool, duplicates (including re-runs of
+// the example) are deduplicated, and Ctrl-C cancels cleanly.
+//
 //	go run ./examples/threads [-maxthreads 7] [-l2 16]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	daesim "repro"
 )
@@ -19,24 +26,37 @@ func main() {
 	measure := flag.Int64("measure", 600_000, "instructions per thread per run")
 	flag.Parse()
 
-	fmt.Printf("IPC vs hardware contexts (L2=%d)\n\n", *l2)
-	fmt.Printf("%8s  %10s  %14s\n", "threads", "decoupled", "non-decoupled")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eng, err := daesim.NewEngine(daesim.EngineOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	var dec, non []float64
+	// Build the whole grid as Requests: decoupled and non-decoupled
+	// interleaved, so results come back position-addressable.
+	var reqs []daesim.Request
 	for t := 1; t <= *maxThreads; t++ {
 		opts := daesim.RunOpts{
 			WarmupInsts:  100_000 * int64(t),
 			MeasureInsts: *measure * int64(t),
 		}
 		m := daesim.Figure2(t).WithL2Latency(*l2)
-		d, err := daesim.RunMix(m, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		n, err := daesim.RunMix(m.NonDecoupled(), opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+		reqs = append(reqs,
+			daesim.MixRequest(m, opts),
+			daesim.MixRequest(m.NonDecoupled(), opts))
+	}
+	results, err := eng.RunBatch(ctx, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("IPC vs hardware contexts (L2=%d)\n\n", *l2)
+	fmt.Printf("%8s  %10s  %14s\n", "threads", "decoupled", "non-decoupled")
+	var dec, non []float64
+	for t := 1; t <= *maxThreads; t++ {
+		d := results[2*(t-1)].Report
+		n := results[2*(t-1)+1].Report
 		dec = append(dec, d.IPC())
 		non = append(non, n.IPC())
 		fmt.Printf("%8d  %10.2f  %14.2f\n", t, d.IPC(), n.IPC())

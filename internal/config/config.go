@@ -12,6 +12,7 @@
 package config
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/branch"
@@ -234,54 +235,66 @@ func (m Machine) Effective() Machine {
 	return m
 }
 
+// ErrInvalid is wrapped by every Validate failure, so callers anywhere
+// up the stack (the runner, the public Engine, the HTTP service) can
+// classify configuration errors with errors.Is without matching message
+// text. The public API re-exports it as daesim.ErrInvalidConfig.
+var ErrInvalid = errors.New("invalid machine configuration")
+
 // Validate checks the configuration for consistency.
 func (m Machine) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("config: %w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+	}
 	switch {
 	case m.Threads <= 0:
-		return fmt.Errorf("config: threads %d must be positive", m.Threads)
+		return fail("threads %d must be positive", m.Threads)
 	case m.FetchThreads <= 0:
-		return fmt.Errorf("config: fetch threads %d must be positive", m.FetchThreads)
+		return fail("fetch threads %d must be positive", m.FetchThreads)
 	case m.FetchWidth <= 0:
-		return fmt.Errorf("config: fetch width %d must be positive", m.FetchWidth)
+		return fail("fetch width %d must be positive", m.FetchWidth)
 	case m.FetchBufSize < m.FetchWidth:
-		return fmt.Errorf("config: fetch buffer %d smaller than fetch width %d", m.FetchBufSize, m.FetchWidth)
+		return fail("fetch buffer %d smaller than fetch width %d", m.FetchBufSize, m.FetchWidth)
 	case m.MaxUnresolvedBranches <= 0:
-		return fmt.Errorf("config: unresolved branch limit %d must be positive", m.MaxUnresolvedBranches)
+		return fail("unresolved branch limit %d must be positive", m.MaxUnresolvedBranches)
 	case m.BHTEntries <= 0 || m.BHTEntries&(m.BHTEntries-1) != 0:
-		return fmt.Errorf("config: BHT entries %d must be a positive power of two", m.BHTEntries)
+		return fail("BHT entries %d must be a positive power of two", m.BHTEntries)
 	case m.DispatchWidth <= 0:
-		return fmt.Errorf("config: dispatch width %d must be positive", m.DispatchWidth)
+		return fail("dispatch width %d must be positive", m.DispatchWidth)
 	case m.APWidth <= 0 || m.EPWidth <= 0:
-		return fmt.Errorf("config: unit widths (%d,%d) must be positive", m.APWidth, m.EPWidth)
+		return fail("unit widths (%d,%d) must be positive", m.APWidth, m.EPWidth)
 	case m.SharedFUs < 0:
-		return fmt.Errorf("config: shared FUs %d must be non-negative", m.SharedFUs)
+		return fail("shared FUs %d must be non-negative", m.SharedFUs)
 	case m.MSHRsPerThread < 0:
-		return fmt.Errorf("config: MSHRs per thread %d must be non-negative", m.MSHRsPerThread)
+		return fail("MSHRs per thread %d must be non-negative", m.MSHRsPerThread)
 	case m.APLatency <= 0 || m.EPLatency <= 0:
-		return fmt.Errorf("config: FU latencies (%d,%d) must be positive", m.APLatency, m.EPLatency)
+		return fail("FU latencies (%d,%d) must be positive", m.APLatency, m.EPLatency)
 	case m.IQSize <= 0 || m.APQSize <= 0 || m.SAQSize <= 0 || m.ROBSize <= 0:
-		return fmt.Errorf("config: queue sizes (%d,%d,%d,%d) must be positive", m.IQSize, m.APQSize, m.SAQSize, m.ROBSize)
+		return fail("queue sizes (%d,%d,%d,%d) must be positive", m.IQSize, m.APQSize, m.SAQSize, m.ROBSize)
 	case m.APRegs < 32+1:
-		return fmt.Errorf("config: AP registers %d must exceed the 32 architectural mappings", m.APRegs)
+		return fail("AP registers %d must exceed the 32 architectural mappings", m.APRegs)
 	case m.EPRegs < 32+1:
-		return fmt.Errorf("config: EP registers %d must exceed the 32 architectural mappings", m.EPRegs)
+		return fail("EP registers %d must exceed the 32 architectural mappings", m.EPRegs)
 	case m.GraduateWidth <= 0:
-		return fmt.Errorf("config: graduate width %d must be positive", m.GraduateWidth)
+		return fail("graduate width %d must be positive", m.GraduateWidth)
 	}
 	switch m.FetchPolicy {
 	case FetchICOUNT, FetchRoundRobin, "":
 	default:
-		return fmt.Errorf("config: unknown fetch policy %q", m.FetchPolicy)
+		return fail("unknown fetch policy %q", m.FetchPolicy)
 	}
 	switch m.IssuePolicy {
 	case IssueRoundRobin, IssueOldestFirst, "":
 	default:
-		return fmt.Errorf("config: unknown issue policy %q", m.IssuePolicy)
+		return fail("unknown issue policy %q", m.IssuePolicy)
 	}
 	switch m.Predictor {
 	case branch.KindBHT, branch.KindGshare, branch.KindTaken, branch.KindNotTaken, "":
 	default:
-		return fmt.Errorf("config: unknown predictor %q", m.Predictor)
+		return fail("unknown predictor %q", m.Predictor)
 	}
-	return m.Mem.Validate()
+	if err := m.Mem.Validate(); err != nil {
+		return fmt.Errorf("config: %w: %w", ErrInvalid, err)
+	}
+	return nil
 }

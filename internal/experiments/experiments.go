@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -44,6 +45,20 @@ type Budget struct {
 	// interrupted sweeps. When nil, each sweep uses a private in-memory
 	// runner.
 	Runner *runner.Runner
+	// Ctx cancels the sweep: in-flight simulations abort promptly and
+	// remaining points fail with the context's error (nil =
+	// context.Background()). With a cache directory, completed points
+	// are already durable, so a cancelled sweep resumes where it
+	// stopped.
+	Ctx context.Context
+}
+
+// ctx returns the sweep context.
+func (b Budget) ctx() context.Context {
+	if b.Ctx != nil {
+		return b.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultBudget is sized for figure-quality sweeps: large enough for
@@ -114,7 +129,7 @@ func (b Budget) sweep(jobs []runner.Job) ([]stats.Report, error) {
 			return nil, err
 		}
 	}
-	results, err := r.Run(jobs)
+	results, err := r.RunContext(b.ctx(), jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -29,6 +30,9 @@ const (
 	// KindBench runs one named benchmark on every context, each copy with
 	// a private address space and a perturbed seed.
 	KindBench WorkloadKind = "bench"
+	// KindCustom runs a caller-defined benchmark model (Workload.Custom)
+	// on every context, like KindBench runs a built-in.
+	KindCustom WorkloadKind = "custom"
 )
 
 // Workload is the canonical description of a job's instruction streams.
@@ -39,6 +43,11 @@ type Workload struct {
 	Kind WorkloadKind
 	// Bench names the benchmark for KindBench.
 	Bench string
+	// Custom is the full benchmark model for KindCustom. It must be nil
+	// for the other kinds (the omitempty keeps mix/bench job hashes
+	// identical to the pre-custom cache schema, so existing on-disk
+	// entries stay valid).
+	Custom *workload.Benchmark `json:",omitempty"`
 	// SegmentLen overrides the mix rotation length for KindMix (0 =
 	// workload.DefaultSegmentLen).
 	SegmentLen int64
@@ -54,6 +63,11 @@ func MixWorkload(seed uint64, segmentLen int64) Workload {
 // BenchWorkload describes a single named benchmark.
 func BenchWorkload(name string, seed uint64) Workload {
 	return Workload{Kind: KindBench, Bench: name, Seed: seed}
+}
+
+// CustomWorkload describes a caller-defined benchmark model.
+func CustomWorkload(b workload.Benchmark, seed uint64) Workload {
+	return Workload{Kind: KindCustom, Custom: &b, Seed: seed}
 }
 
 // Budget is a job's instruction budget in machine-wide totals (callers
@@ -117,6 +131,13 @@ func (j Job) Validate() error {
 		if _, err := workload.ByName(j.Workload.Bench); err != nil {
 			return fmt.Errorf("runner: job %q: %w", j.Key, err)
 		}
+	case KindCustom:
+		if j.Workload.Custom == nil {
+			return fmt.Errorf("runner: job %q: custom workload without a benchmark model", j.Key)
+		}
+		if err := j.Workload.Custom.Validate(); err != nil {
+			return fmt.Errorf("runner: job %q: %w", j.Key, err)
+		}
 	default:
 		return fmt.Errorf("runner: job %q: unknown workload kind %q", j.Key, j.Workload.Kind)
 	}
@@ -127,6 +148,19 @@ func (j Job) Validate() error {
 		return fmt.Errorf("runner: job %q: %w", j.Key, err)
 	}
 	return nil
+}
+
+// benchSources builds one per-thread reader copy of benchmark b, each
+// with a private address space and a perturbed seed.
+func (j Job) benchSources(b workload.Benchmark) []trace.Reader {
+	srcs := make([]trace.Reader, j.Machine.Threads)
+	for t := 0; t < j.Machine.Threads; t++ {
+		srcs[t] = b.NewReader(workload.ReaderOpts{
+			AddrOffset: workload.ThreadAddrOffset(t),
+			Seed:       j.Workload.Seed + uint64(t),
+		})
+	}
+	return srcs
 }
 
 // sources builds the per-thread instruction streams.
@@ -142,31 +176,36 @@ func (j Job) sources() ([]trace.Reader, error) {
 		if err != nil {
 			return nil, err
 		}
-		srcs := make([]trace.Reader, j.Machine.Threads)
-		for t := 0; t < j.Machine.Threads; t++ {
-			srcs[t] = b.NewReader(workload.ReaderOpts{
-				AddrOffset: workload.ThreadAddrOffset(t),
-				Seed:       j.Workload.Seed + uint64(t),
-			})
+		return j.benchSources(b), nil
+	case KindCustom:
+		if j.Workload.Custom == nil {
+			return nil, fmt.Errorf("custom workload without a benchmark model")
 		}
-		return srcs, nil
+		return j.benchSources(*j.Workload.Custom), nil
 	default:
 		return nil, fmt.Errorf("unknown workload kind %q", j.Workload.Kind)
 	}
 }
 
-// execute runs the simulation for the job.
-func (j Job) execute() (stats.Report, error) {
+// Execute runs the job's simulation once, bypassing every cache tier and
+// the worker pool — the uncached one-shot path behind the public
+// package-level Run* wrappers. Cancelling ctx aborts the run promptly
+// with an error wrapping ctx.Err(). onProgress, when non-nil, receives
+// periodic in-run snapshots (every "every" graduated instructions;
+// <= 0 applies the sim default).
+func (j Job) Execute(ctx context.Context, onProgress func(sim.Snapshot), every int64) (stats.Report, error) {
 	srcs, err := j.sources()
 	if err != nil {
 		return stats.Report{}, fmt.Errorf("runner: job %q: %w", j.Key, err)
 	}
-	res, err := sim.Run(sim.Options{
-		Machine:      j.Machine,
-		Sources:      srcs,
-		WarmupInsts:  j.Budget.WarmupInsts,
-		MeasureInsts: j.Budget.MeasureInsts,
-		MaxCycles:    j.Budget.MaxCycles,
+	res, err := sim.Run(ctx, sim.Options{
+		Machine:       j.Machine,
+		Sources:       srcs,
+		WarmupInsts:   j.Budget.WarmupInsts,
+		MeasureInsts:  j.Budget.MeasureInsts,
+		MaxCycles:     j.Budget.MaxCycles,
+		OnProgress:    onProgress,
+		ProgressEvery: every,
 	})
 	if err != nil {
 		return stats.Report{}, fmt.Errorf("runner: job %q: %w", j.Key, err)

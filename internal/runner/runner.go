@@ -21,16 +21,21 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
 // Options configures a Runner.
 type Options struct {
-	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS). The bound
+	// is global: concurrent batches (and single-job runs) share one
+	// semaphore, so a Runner embedded in a long-lived service never
+	// exceeds it no matter how many callers overlap.
 	Workers int
 	// CacheDir enables the on-disk result cache tier ("" = in-memory
 	// only). The directory is created if missing.
@@ -40,6 +45,25 @@ type Options struct {
 	// Done is monotonic; keep the callback fast — it runs under the
 	// batch's bookkeeping lock.
 	OnProgress func(Progress)
+	// OnSnapshot, when set, receives periodic in-run progress snapshots
+	// from every executing simulation (cache hits produce none). Calls
+	// may arrive concurrently from different workers; keep the callback
+	// fast and synchronize any shared state it touches.
+	OnSnapshot func(Snapshot)
+	// SnapshotEvery is the in-run snapshot cadence in graduated
+	// instructions (<= 0 applies the sim default). Ignored without
+	// OnSnapshot.
+	SnapshotEvery int64
+}
+
+// Snapshot is an in-run progress report: one executing job's identity
+// plus the simulator's point-in-time counters.
+type Snapshot struct {
+	// Job is the executing job and Hash its canonical content hash.
+	Job  Job
+	Hash string
+	// Sim is the simulator's progress snapshot.
+	Sim sim.Snapshot
 }
 
 // Progress is a structured progress report for one completed job.
@@ -50,6 +74,12 @@ type Progress struct {
 	CacheHits, Failures int
 	// Job is the job that just finished.
 	Job Job
+	// Hash is the job's canonical content hash ("" when validation
+	// failed before hashing).
+	Hash string
+	// Report is the job's result when Err is nil (zero otherwise), so
+	// streaming consumers need no second lookup.
+	Report stats.Report
 	// Cached reports whether Job was served from the cache.
 	Cached bool
 	// Err is Job's failure, if any.
@@ -95,11 +125,18 @@ type call struct {
 }
 
 // Runner schedules batches of simulation jobs. It is safe for
-// concurrent use; the cache is shared across batches.
+// concurrent use; the cache, the in-flight deduplication table and the
+// worker semaphore are shared across batches.
 type Runner struct {
 	workers    int
 	cache      *cache
 	onProgress func(Progress)
+	onSnapshot func(Snapshot)
+	snapEvery  int64
+	// sem is the global simulation semaphore: every fresh simulation
+	// (never a cache hit) holds one slot for its duration, bounding
+	// concurrency across overlapping batches.
+	sem chan struct{}
 
 	mu       sync.Mutex
 	inflight map[string]*call
@@ -123,6 +160,9 @@ func New(opts Options) (*Runner, error) {
 		workers:    workers,
 		cache:      c,
 		onProgress: opts.OnProgress,
+		onSnapshot: opts.OnSnapshot,
+		snapEvery:  opts.SnapshotEvery,
+		sem:        make(chan struct{}, workers),
 		inflight:   make(map[string]*call),
 	}, nil
 }
@@ -144,8 +184,9 @@ func (r *Runner) Run(jobs []Job) ([]Result, error) {
 // batch: the remaining jobs still run, their results are collected, and
 // the returned error (a *BatchError, nil when everything succeeded)
 // aggregates every failure. Cancelling the context stops dispatching
-// new jobs — already-running simulations finish (and are cached), and
-// undispatched jobs fail with the context's error.
+// new jobs, aborts already-running simulations promptly (aborted runs
+// are not cached), and fails undispatched jobs with the context's
+// error; results completed before the cancellation are kept.
 func (r *Runner) RunContext(ctx context.Context, jobs []Job) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	workers := r.workers
@@ -180,7 +221,8 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) ([]Result, error) {
 			r.onProgress(Progress{
 				Done: done, Total: len(jobs),
 				CacheHits: hits, Failures: failures,
-				Job: res.Job, Cached: res.Cached, Err: res.Err,
+				Job: res.Job, Hash: res.Hash, Report: res.Report,
+				Cached: res.Cached, Err: res.Err,
 			})
 		}
 		batchMu.Unlock()
@@ -191,7 +233,7 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				finish(i, r.runJob(jobs[i]))
+				finish(i, r.runJob(ctx, jobs[i]))
 			}
 		}()
 	}
@@ -239,8 +281,8 @@ dispatch:
 }
 
 // runJob resolves one job: validation, cache lookup, in-flight
-// deduplication, then a fresh simulation.
-func (r *Runner) runJob(j Job) Result {
+// deduplication, then a fresh simulation under the global semaphore.
+func (r *Runner) runJob(ctx context.Context, j Job) Result {
 	if err := j.Validate(); err != nil {
 		r.mu.Lock()
 		r.stats.Failures++
@@ -248,67 +290,108 @@ func (r *Runner) runJob(j Job) Result {
 		return Result{Job: j, Err: err}
 	}
 	h := j.Hash()
-	if rep, ok := r.cache.get(h); ok {
-		r.mu.Lock()
-		r.stats.CacheHits++
-		r.mu.Unlock()
-		r.recordHash(h, j.Key, rep)
-		return Result{Job: j, Hash: h, Report: rep, Cached: true}
-	}
+	for {
+		if rep, ok := r.cache.get(h); ok {
+			r.mu.Lock()
+			r.stats.CacheHits++
+			r.mu.Unlock()
+			r.recordHash(h, j.Key, rep)
+			return Result{Job: j, Hash: h, Report: rep, Cached: true}
+		}
 
-	r.mu.Lock()
-	if c, ok := r.inflight[h]; ok {
-		r.mu.Unlock()
-		<-c.done
-		res := Result{Job: j, Hash: h, Report: c.rep, Cached: true, Err: c.err}
 		r.mu.Lock()
-		if c.err != nil {
+		if c, ok := r.inflight[h]; ok {
+			r.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				r.mu.Lock()
+				r.stats.Failures++
+				r.mu.Unlock()
+				return Result{Job: j, Hash: h, Err: fmt.Errorf("runner: job %q: %w", j.Key, ctx.Err())}
+			}
+			if c.err != nil && ctx.Err() == nil &&
+				(errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+				// The owning caller was cancelled or timed out, not us: its
+				// abort says nothing about this job's result. Loop and
+				// recompute.
+				continue
+			}
+			res := Result{Job: j, Hash: h, Report: c.rep, Cached: true, Err: c.err}
+			r.mu.Lock()
+			if c.err != nil {
+				r.stats.Failures++
+			} else {
+				r.stats.CacheHits++
+			}
+			r.mu.Unlock()
+			if c.err == nil {
+				r.recordHash(h, j.Key, c.rep)
+			}
+			return res
+		}
+		// Re-check under the lock: a duplicate may have completed (and
+		// deregistered) between the miss above and here, in which case its
+		// result is in the memory tier now.
+		if rep, ok := r.cache.get(h); ok {
+			r.stats.CacheHits++
+			r.mu.Unlock()
+			r.recordHash(h, j.Key, rep)
+			return Result{Job: j, Hash: h, Report: rep, Cached: true}
+		}
+		c := &call{done: make(chan struct{})}
+		r.inflight[h] = c
+		r.mu.Unlock()
+
+		// This caller owns the computation. Waiting for a semaphore slot
+		// still observes cancellation, but once registered the call MUST
+		// resolve (close done, deregister) or duplicates would hang.
+		var (
+			rep stats.Report
+			err error
+		)
+		select {
+		case r.sem <- struct{}{}:
+			var snap func(sim.Snapshot)
+			if r.onSnapshot != nil {
+				snap = func(s sim.Snapshot) { r.onSnapshot(Snapshot{Job: j, Hash: h, Sim: s}) }
+			}
+			rep, err = j.Execute(ctx, snap, r.snapEvery)
+			<-r.sem
+		case <-ctx.Done():
+			err = fmt.Errorf("runner: job %q: %w", j.Key, ctx.Err())
+		}
+		var writeErr error
+		if err == nil {
+			writeErr = r.cache.put(h, j.Key, rep)
+		}
+		c.rep, c.err = rep, err
+		close(c.done)
+
+		r.mu.Lock()
+		delete(r.inflight, h)
+		if err != nil {
 			r.stats.Failures++
 		} else {
-			r.stats.CacheHits++
+			r.stats.Simulated++
+			if writeErr != nil {
+				r.stats.CacheWriteErrors++
+			}
 		}
 		r.mu.Unlock()
-		if c.err == nil {
-			r.recordHash(h, j.Key, c.rep)
+		if err == nil {
+			r.recordHash(h, j.Key, rep)
 		}
-		return res
+		return Result{Job: j, Hash: h, Report: rep, Err: err}
 	}
-	// Re-check under the lock: a duplicate may have completed (and
-	// deregistered) between the miss above and here, in which case its
-	// result is in the memory tier now.
-	if rep, ok := r.cache.get(h); ok {
-		r.stats.CacheHits++
-		r.mu.Unlock()
-		r.recordHash(h, j.Key, rep)
-		return Result{Job: j, Hash: h, Report: rep, Cached: true}
-	}
-	c := &call{done: make(chan struct{})}
-	r.inflight[h] = c
-	r.mu.Unlock()
+}
 
-	rep, err := j.execute()
-	var writeErr error
-	if err == nil {
-		writeErr = r.cache.put(h, j.Key, rep)
-	}
-	c.rep, c.err = rep, err
-	close(c.done)
-
-	r.mu.Lock()
-	delete(r.inflight, h)
-	if err != nil {
-		r.stats.Failures++
-	} else {
-		r.stats.Simulated++
-		if writeErr != nil {
-			r.stats.CacheWriteErrors++
-		}
-	}
-	r.mu.Unlock()
-	if err == nil {
-		r.recordHash(h, j.Key, rep)
-	}
-	return Result{Job: j, Hash: h, Report: rep, Err: err}
+// Lookup returns the cached report for a job content hash, consulting
+// the memory tier first and the disk tier second, without scheduling
+// anything. It is the read-only path behind GET endpoints that serve
+// previously computed results by hash.
+func (r *Runner) Lookup(hash string) (stats.Report, bool) {
+	return r.cache.get(hash)
 }
 
 // DiskEntries reports how many results the on-disk cache tier currently

@@ -9,9 +9,12 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/config"
+	"repro/internal/workload"
 )
 
 // testBudget is small enough that a single job runs in milliseconds but
@@ -396,5 +399,212 @@ func TestReportsAlignsWithJobs(t *testing.T) {
 	}
 	if reps[0].Threads != 1 || reps[1].Threads != 2 {
 		t.Fatalf("report order does not match job order: %d/%d threads", reps[0].Threads, reps[1].Threads)
+	}
+}
+
+func TestCancelAbortsRunningSimulationPromptly(t *testing.T) {
+	r := mustRunner(t, Options{Workers: 1})
+	huge := mixJob("huge", 1, 0)
+	huge.Budget = Budget{WarmupInsts: 500, MeasureInsts: 500_000_000}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	results, err := r.RunContext(ctx, []Job{huge})
+	if err == nil {
+		t.Fatal("cancelled batch returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("mid-run cancellation took %v", elapsed)
+	}
+	if !errors.Is(results[0].Err, context.Canceled) {
+		t.Fatalf("job error %v, want context.Canceled", results[0].Err)
+	}
+	// Aborted simulations must not poison the cache.
+	if _, ok := r.Lookup(huge.Hash()); ok {
+		t.Fatal("aborted run left a cache entry")
+	}
+	// The runner stays usable after a cancellation.
+	ok := mixJob("ok", 1, 0)
+	if _, err := r.Run([]Job{ok}); err != nil {
+		t.Fatalf("runner broken after cancellation: %v", err)
+	}
+}
+
+func TestGlobalSemaphoreBoundsOverlappingBatches(t *testing.T) {
+	// A 1-worker runner receiving two concurrent batches may only ever
+	// have one simulation in flight; the OnSnapshot stream proves it: no
+	// snapshot of one job may arrive between two snapshots of another
+	// unless the first job finished in between.
+	var mu sync.Mutex
+	running := make(map[string]bool)
+	peak := 0
+	r, err := New(Options{
+		Workers:       1,
+		SnapshotEvery: 200,
+		OnSnapshot: func(s Snapshot) {
+			mu.Lock()
+			running[s.Job.Key] = true
+			mu.Unlock()
+		},
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			if n := len(running); n > peak {
+				peak = n
+			}
+			delete(running, p.Job.Key)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for b := 0; b < 3; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			// Distinct seeds so batches cannot dedup onto each other.
+			if _, err := r.Run([]Job{mixJob(fmt.Sprintf("b%d", b), 1, uint64(10+b))}); err != nil {
+				t.Error(err)
+			}
+		}(b)
+	}
+	wg.Wait()
+	if peak > 1 {
+		t.Fatalf("%d simulations were in flight on a 1-worker runner", peak)
+	}
+	if got := r.Stats().Simulated; got != 3 {
+		t.Fatalf("simulated %d, want 3", got)
+	}
+}
+
+func TestLookupServesBothTiers(t *testing.T) {
+	dir := t.TempDir()
+	j := mixJob("p", 1, 0)
+	r1 := mustRunner(t, Options{CacheDir: dir})
+	if _, ok := r1.Lookup(j.Hash()); ok {
+		t.Fatal("lookup hit before anything ran")
+	}
+	want, err := r1.Run([]Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep, ok := r1.Lookup(j.Hash()); !ok || rep.Graduated != want[0].Report.Graduated {
+		t.Fatal("memory-tier lookup failed")
+	}
+	// A fresh runner sees the entry through the disk tier — and lookup
+	// never simulates.
+	r2 := mustRunner(t, Options{CacheDir: dir})
+	if _, ok := r2.Lookup(j.Hash()); !ok {
+		t.Fatal("disk-tier lookup failed")
+	}
+	if r2.Stats().Simulated != 0 {
+		t.Fatal("lookup triggered a simulation")
+	}
+}
+
+func TestCustomWorkloadJobs(t *testing.T) {
+	b, err := workload.ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Name = "swim-variant"
+	j := Job{
+		Key:      "custom",
+		Machine:  config.Figure2(1),
+		Workload: CustomWorkload(b, 3),
+		Budget:   testBudget(),
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatalf("valid custom job rejected: %v", err)
+	}
+	r := mustRunner(t, Options{})
+	results, err := r.Run([]Job{j, j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().Simulated != 1 {
+		t.Error("identical custom jobs not deduplicated")
+	}
+	if results[0].Report.Graduated == 0 {
+		t.Error("custom job produced no work")
+	}
+	// The equivalent bench job must hash differently (kind + spec are in
+	// the hash) even though the generated stream would match.
+	bench := Job{Key: "bench", Machine: j.Machine, Workload: BenchWorkload("swim", 3), Budget: j.Budget}
+	if bench.Hash() == j.Hash() {
+		t.Error("custom and bench jobs share a hash")
+	}
+	missing := j
+	missing.Workload.Custom = nil
+	if err := missing.Validate(); err == nil {
+		t.Error("custom job without a model accepted")
+	}
+}
+
+// TestMixBenchHashesUnchangedByCustomField pins the cache schema: adding
+// the Custom workload field must not move any existing mix/bench job
+// hash (the on-disk sweep caches would all be invalidated).
+func TestMixBenchHashesUnchangedByCustomField(t *testing.T) {
+	for _, j := range testJobs() {
+		raw, err := json.Marshal(j.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(raw), "Custom") {
+			t.Fatalf("nil Custom field leaks into the hash input: %s", raw)
+		}
+	}
+}
+
+// TestWaiterRecomputesAfterOwnerTimeout mirrors the owner-cancelled
+// retry for the deadline flavor: a dedup waiter whose owner hit its own
+// per-request deadline must recompute under its own context instead of
+// inheriting the timeout.
+func TestWaiterRecomputesAfterOwnerTimeout(t *testing.T) {
+	r := mustRunner(t, Options{Workers: 2})
+	j := mixJob("shared", 1, 0)
+	j.Budget = Budget{WarmupInsts: 500, MeasureInsts: 500_000_000}
+
+	// Owner: a context that times out almost immediately.
+	ownerCtx, cancelOwner := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancelOwner()
+	ownerDone := make(chan Result, 1)
+	go func() {
+		res, _ := r.RunContext(ownerCtx, []Job{j})
+		ownerDone <- res[0]
+	}()
+	time.Sleep(5 * time.Millisecond) // let the owner register in-flight
+
+	// Waiter: no deadline of its own. After the owner times out it must
+	// retry the (deliberately enormous) job as the new owner — proven
+	// below by it still running after the owner failed — and then our
+	// explicit cancel ends it with its own error, not an inherited one.
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterDone := make(chan Result, 1)
+	go func() {
+		res, _ := r.RunContext(waiterCtx, []Job{j})
+		waiterDone <- res[0]
+	}()
+
+	owner := <-ownerDone
+	if !errors.Is(owner.Err, context.DeadlineExceeded) {
+		t.Fatalf("owner error %v, want deadline exceeded", owner.Err)
+	}
+	// The waiter must still be running (it retried as the new owner)
+	// rather than having inherited the owner's timeout.
+	select {
+	case res := <-waiterDone:
+		t.Fatalf("waiter finished with inherited error: %v", res.Err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	cancelWaiter()
+	res := <-waiterDone
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("waiter error %v, want its own cancellation", res.Err)
 	}
 }

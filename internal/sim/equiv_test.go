@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/config"
@@ -49,13 +50,13 @@ func runBoth(t *testing.T, name string, opts Options, sources func() []trace.Rea
 	t.Helper()
 	opts.Sources = sources()
 	opts.Stepped = true
-	stepped, err := Run(opts)
+	stepped, err := Run(context.Background(), opts)
 	if err != nil {
 		t.Fatalf("%s: stepped run: %v", name, err)
 	}
 	opts.Sources = sources()
 	opts.Stepped = false
-	fast, err := Run(opts)
+	fast, err := Run(context.Background(), opts)
 	if err != nil {
 		t.Fatalf("%s: fast run: %v", name, err)
 	}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
@@ -33,10 +34,48 @@ type Options struct {
 	// bit-identical either way (enforced by the equivalence tests);
 	// stepping exists as the golden reference and for debugging.
 	Stepped bool
+	// OnProgress, when set, receives a Snapshot roughly every
+	// ProgressEvery graduated instructions (and once at each window
+	// boundary). The callback observes simulation state but never
+	// mutates it, so enabling progress cannot change results; keep it
+	// fast — it runs on the simulation goroutine.
+	OnProgress func(Snapshot)
+	// ProgressEvery is the snapshot cadence in graduated instructions
+	// (<= 0 applies DefaultProgressEvery when OnProgress is set).
+	ProgressEvery int64
 }
 
 // DefaultMaxCycles bounds runaway simulations (deadlock guard).
 const DefaultMaxCycles = 2_000_000_000
+
+// DefaultProgressEvery is the default snapshot cadence.
+const DefaultProgressEvery = 100_000
+
+// cancelPollMask amortizes context-cancellation polling: the run loop
+// checks ctx once every (mask+1) scheduler steps. At a few microseconds
+// per step, cancellation latency stays far under a millisecond of wall
+// time while the check costs nothing measurable.
+const cancelPollMask = 1<<10 - 1
+
+// Phase names a run window in progress snapshots.
+const (
+	PhaseWarmup  = "warmup"
+	PhaseMeasure = "measure"
+)
+
+// Snapshot is a point-in-time progress report of a running simulation.
+type Snapshot struct {
+	// Phase is the current window (PhaseWarmup or PhaseMeasure).
+	Phase string
+	// Graduated counts instructions retired in the current window.
+	Graduated int64
+	// TargetInsts is the window's instruction budget (0 = run to drain).
+	TargetInsts int64
+	// Cycles counts cycles in the current window.
+	Cycles int64
+	// TotalCycles is the absolute simulated time including warm-up.
+	TotalCycles int64
+}
 
 // Result is a finished run.
 type Result struct {
@@ -49,8 +88,10 @@ type Result struct {
 	TotalCycles int64
 }
 
-// Run executes one simulation.
-func Run(opts Options) (Result, error) {
+// Run executes one simulation. Cancelling ctx aborts the run promptly
+// (the loop polls the context every few hundred scheduler steps) and
+// returns ctx's error; cancellation never produces a partial Result.
+func Run(ctx context.Context, opts Options) (Result, error) {
 	c, err := core.New(opts.Machine, opts.Sources)
 	if err != nil {
 		return Result{}, err
@@ -58,6 +99,20 @@ func Run(opts Options) (Result, error) {
 	maxCycles := opts.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = DefaultMaxCycles
+	}
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = DefaultProgressEvery
+	}
+	var polls int64
+	snapshot := func(phase string, target int64) Snapshot {
+		return Snapshot{
+			Phase:       phase,
+			Graduated:   c.Collector().Graduated,
+			TargetInsts: target,
+			Cycles:      c.Collector().Cycles,
+			TotalCycles: c.Now(),
+		}
 	}
 	// step advances the machine, fast-forwarding over idle stretches
 	// unless stepping was requested. The loop conditions below only depend
@@ -71,10 +126,20 @@ func Run(opts Options) (Result, error) {
 
 	// Warm-up window.
 	completed := true
+	nextSnap := every
 	for c.Collector().Graduated < opts.WarmupInsts && !c.Done() {
 		if c.Now() >= maxCycles {
 			completed = false
 			break
+		}
+		if polls++; polls&cancelPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		if opts.OnProgress != nil && c.Collector().Graduated >= nextSnap {
+			opts.OnProgress(snapshot(PhaseWarmup, opts.WarmupInsts))
+			nextSnap = c.Collector().Graduated + every
 		}
 		step()
 	}
@@ -84,12 +149,26 @@ func Run(opts Options) (Result, error) {
 	c.Mem().ResetStats()
 
 	// Measurement window.
+	nextSnap = every
 	for (opts.MeasureInsts <= 0 || c.Collector().Graduated < opts.MeasureInsts) && !c.Done() {
 		if c.Now() >= maxCycles {
 			completed = false
 			break
 		}
+		if polls++; polls&cancelPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		if opts.OnProgress != nil && c.Collector().Graduated >= nextSnap {
+			opts.OnProgress(snapshot(PhaseMeasure, opts.MeasureInsts))
+			nextSnap = c.Collector().Graduated + every
+		}
 		step()
+	}
+	if opts.OnProgress != nil {
+		// Window-boundary snapshot: the final measurement counts.
+		opts.OnProgress(snapshot(PhaseMeasure, opts.MeasureInsts))
 	}
 
 	col := *c.Collector()
@@ -107,7 +186,7 @@ func Run(opts Options) (Result, error) {
 // RunOrDie is a convenience for examples and tools: it runs and panics on
 // configuration errors (which are programming errors there).
 func RunOrDie(opts Options) Result {
-	r, err := Run(opts)
+	r, err := Run(context.Background(), opts)
 	if err != nil {
 		panic(fmt.Sprintf("sim: %v", err))
 	}

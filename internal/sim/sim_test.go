@@ -2,7 +2,10 @@ package sim
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/isa"
@@ -22,7 +25,7 @@ func finiteTrace(n int) trace.Reader {
 }
 
 func TestRunDrainsFiniteTrace(t *testing.T) {
-	res, err := Run(Options{
+	res, err := Run(context.Background(), Options{
 		Machine: config.Figure2(1),
 		Sources: []trace.Reader{finiteTrace(5000)},
 	})
@@ -41,7 +44,7 @@ func TestRunDrainsFiniteTrace(t *testing.T) {
 }
 
 func TestWarmupExcludedFromStats(t *testing.T) {
-	res, err := Run(Options{
+	res, err := Run(context.Background(), Options{
 		Machine:     config.Figure2(1),
 		Sources:     []trace.Reader{finiteTrace(5000)},
 		WarmupInsts: 2000,
@@ -63,7 +66,7 @@ func TestMeasureWindowStopsEarly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Options{
+	res, err := Run(context.Background(), Options{
 		Machine:      config.Figure2(1),
 		Sources:      []trace.Reader{b.NewReader(workload.ReaderOpts{})},
 		WarmupInsts:  5_000,
@@ -84,7 +87,7 @@ func TestMeasureWindowStopsEarly(t *testing.T) {
 
 func TestCycleCapReported(t *testing.T) {
 	b, _ := workload.ByName("swim")
-	res, err := Run(Options{
+	res, err := Run(context.Background(), Options{
 		Machine:      config.Figure2(1),
 		Sources:      []trace.Reader{b.NewReader(workload.ReaderOpts{})},
 		MeasureInsts: 1 << 40, // unreachable
@@ -104,13 +107,13 @@ func TestCycleCapReported(t *testing.T) {
 func TestInvalidMachineRejected(t *testing.T) {
 	m := config.Figure2(1)
 	m.ROBSize = 0
-	if _, err := Run(Options{Machine: m, Sources: []trace.Reader{finiteTrace(1)}}); err == nil {
+	if _, err := Run(context.Background(), Options{Machine: m, Sources: []trace.Reader{finiteTrace(1)}}); err == nil {
 		t.Fatal("invalid machine accepted")
 	}
 }
 
 func TestSourceCountMismatchRejected(t *testing.T) {
-	if _, err := Run(Options{
+	if _, err := Run(context.Background(), Options{
 		Machine: config.Figure2(2),
 		Sources: []trace.Reader{finiteTrace(1)},
 	}); err == nil {
@@ -121,7 +124,7 @@ func TestSourceCountMismatchRejected(t *testing.T) {
 func TestDeterministicAcrossRuns(t *testing.T) {
 	run := func() Result {
 		b, _ := workload.ByName("su2cor")
-		res, err := Run(Options{
+		res, err := Run(context.Background(), Options{
 			Machine:      config.Figure2(2).WithL2Latency(64),
 			Sources:      []trace.Reader{b.NewReader(workload.ReaderOpts{}), b.NewReader(workload.ReaderOpts{AddrOffset: 1 << 36})},
 			WarmupInsts:  5_000,
@@ -144,7 +147,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 func TestReportIdentifiesConfiguration(t *testing.T) {
 	m := config.Figure2(2).WithL2Latency(128).NonDecoupled()
 	b, _ := workload.ByName("mgrid")
-	res, err := Run(Options{
+	res, err := Run(context.Background(), Options{
 		Machine: m,
 		Sources: []trace.Reader{
 			b.NewReader(workload.ReaderOpts{}),
@@ -204,7 +207,7 @@ func TestTraceFileRoundTripThroughSimulator(t *testing.T) {
 	}
 
 	run := func(src trace.Reader) Result {
-		res, err := Run(Options{
+		res, err := Run(context.Background(), Options{
 			Machine:     config.Figure2(1),
 			Sources:     []trace.Reader{src},
 			WarmupInsts: 5_000,
@@ -226,5 +229,91 @@ func TestTraceFileRoundTripThroughSimulator(t *testing.T) {
 	// bandwidth before the reset, so allow a small shortfall.
 	if g := fromFile.Report.Graduated; g < n-5_000-64 || g > n-5_000 {
 		t.Fatalf("graduated %d", g)
+	}
+}
+
+func TestRunObservesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(ctx, Options{
+		Machine:      config.Figure2(1),
+		Sources:      workload.MixSources(1, workload.MixOpts{}),
+		WarmupInsts:  1_000,
+		MeasureInsts: 500_000_000, // only cancellation ends this quickly
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestRunStreamsProgressSnapshots(t *testing.T) {
+	var snaps []Snapshot
+	res, err := Run(context.Background(), Options{
+		Machine:       config.Figure2(1),
+		Sources:       workload.MixSources(1, workload.MixOpts{}),
+		WarmupInsts:   3_000,
+		MeasureInsts:  9_000,
+		OnProgress:    func(s Snapshot) { snaps = append(snaps, s) },
+		ProgressEvery: 1_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 5 {
+		t.Fatalf("%d snapshots for a 12k-inst run at 1k cadence", len(snaps))
+	}
+	var warm, meas int
+	lastPhase := ""
+	var lastGrad int64
+	for _, s := range snaps {
+		switch s.Phase {
+		case PhaseWarmup:
+			warm++
+			if lastPhase == PhaseMeasure {
+				t.Fatal("warm-up snapshot after measurement began")
+			}
+			if s.TargetInsts != 3_000 {
+				t.Fatalf("warm-up target %d", s.TargetInsts)
+			}
+		case PhaseMeasure:
+			meas++
+			if s.TargetInsts != 9_000 {
+				t.Fatalf("measure target %d", s.TargetInsts)
+			}
+		default:
+			t.Fatalf("unknown phase %q", s.Phase)
+		}
+		if s.Phase == lastPhase && s.Graduated < lastGrad {
+			t.Fatal("graduated count not monotonic within a phase")
+		}
+		lastPhase, lastGrad = s.Phase, s.Graduated
+	}
+	if warm == 0 || meas == 0 {
+		t.Fatalf("phases not both sampled: %d warm-up, %d measure snapshots", warm, meas)
+	}
+	final := snaps[len(snaps)-1]
+	if final.Graduated != res.Report.Graduated {
+		t.Fatalf("final snapshot graduated %d, report says %d", final.Graduated, res.Report.Graduated)
+	}
+	// The hook observes but never mutates: results with and without
+	// progress enabled are identical.
+	plain, err := Run(context.Background(), Options{
+		Machine:      config.Figure2(1),
+		Sources:      workload.MixSources(1, workload.MixOpts{}),
+		WarmupInsts:  3_000,
+		MeasureInsts: 9_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != res {
+		t.Fatal("enabling progress snapshots changed the result")
 	}
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -269,6 +270,11 @@ func Names() []string {
 	return names
 }
 
+// ErrUnknownBenchmark is wrapped by every benchmark-name lookup failure,
+// so callers anywhere up the stack can classify it with errors.Is (the
+// public API re-exports it as daesim.ErrUnknownBenchmark).
+var ErrUnknownBenchmark = errors.New("unknown benchmark")
+
 // ByName returns the named benchmark model.
 func ByName(name string) (Benchmark, error) {
 	for _, b := range builtins() {
@@ -278,5 +284,5 @@ func ByName(name string) (Benchmark, error) {
 	}
 	known := Names()
 	sort.Strings(known)
-	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q (known: %v)", name, known)
+	return Benchmark{}, fmt.Errorf("workload: %w %q (known: %v)", ErrUnknownBenchmark, name, known)
 }

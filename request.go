@@ -1,0 +1,228 @@
+package daesim
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// WorkloadKind selects how a Request's instruction streams are built.
+type WorkloadKind string
+
+// Workload kinds.
+const (
+	// WorkloadMix is the paper's Section-3 workload: every context runs a
+	// rotated concatenation of all ten benchmarks.
+	WorkloadMix WorkloadKind = "mix"
+	// WorkloadBench runs one named built-in benchmark on every context,
+	// each copy with a private address space and a perturbed seed.
+	WorkloadBench WorkloadKind = "bench"
+	// WorkloadCustom runs a caller-defined Benchmark model the same way.
+	WorkloadCustom WorkloadKind = "custom"
+)
+
+// Workload is the serializable description of a Request's instruction
+// streams. An empty Kind normalizes to WorkloadMix.
+type Workload struct {
+	Kind WorkloadKind `json:"kind"`
+	// Bench names the built-in benchmark for WorkloadBench.
+	Bench string `json:"bench,omitempty"`
+	// Custom is the benchmark model for WorkloadCustom.
+	Custom *Benchmark `json:"custom,omitempty"`
+	// SegmentLen overrides the mix rotation length for WorkloadMix
+	// (0 = the default).
+	SegmentLen int64 `json:"segmentLen,omitempty"`
+	// Seed perturbs the workload's data-dependent randomness; runs with
+	// the same Request (seed included) are bit-identical.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Budget is a Request's instruction budget in machine-wide totals.
+type Budget struct {
+	// WarmupInsts graduates before statistics reset (0 = DefaultWarmup).
+	WarmupInsts int64 `json:"warmupInsts"`
+	// MeasureInsts is the measurement window (0 = DefaultMeasure).
+	MeasureInsts int64 `json:"measureInsts"`
+	// MaxCycles caps the run as a deadlock guard (0 = a large default).
+	MaxCycles int64 `json:"maxCycles,omitempty"`
+}
+
+// Request is the canonical, JSON-serializable description of one
+// simulation: a machine configuration, a workload, and an instruction
+// budget. Everything a run's result depends on is in these fields —
+// which is what makes Requests content-addressable (Hash) and their
+// results cacheable and shareable between clients. Label is the one
+// exception: a human-readable name used in errors, progress events and
+// cache-entry metadata, deliberately excluded from the hash.
+type Request struct {
+	Label    string   `json:"label,omitempty"`
+	Machine  Machine  `json:"machine"`
+	Workload Workload `json:"workload"`
+	Budget   Budget   `json:"budget"`
+}
+
+// MixRequest describes the paper's Section-3 mixed workload on machine m.
+func MixRequest(m Machine, opts RunOpts) Request {
+	return Request{
+		Machine:  m,
+		Workload: Workload{Kind: WorkloadMix, Seed: opts.Seed, SegmentLen: opts.SegmentLen},
+		Budget:   budgetFrom(opts),
+	}.Normalized()
+}
+
+// BenchmarkRequest describes one built-in benchmark on machine m.
+func BenchmarkRequest(name string, m Machine, opts RunOpts) Request {
+	return Request{
+		Machine:  m,
+		Workload: Workload{Kind: WorkloadBench, Bench: name, Seed: opts.Seed},
+		Budget:   budgetFrom(opts),
+	}.Normalized()
+}
+
+// CustomRequest describes a caller-defined benchmark model on machine m.
+func CustomRequest(b Benchmark, m Machine, opts RunOpts) Request {
+	return Request{
+		Machine:  m,
+		Workload: Workload{Kind: WorkloadCustom, Custom: &b, Seed: opts.Seed},
+		Budget:   budgetFrom(opts),
+	}.Normalized()
+}
+
+func budgetFrom(opts RunOpts) Budget {
+	return Budget{
+		WarmupInsts:  opts.WarmupInsts,
+		MeasureInsts: opts.MeasureInsts,
+		MaxCycles:    opts.MaxCycles,
+	}
+}
+
+// Normalized returns the Request with defaults resolved: an empty
+// workload kind becomes WorkloadMix and zero budgets become the
+// documented defaults. Hash and the Engine normalize implicitly, so a
+// Request relying on defaults and one spelling them out name the same
+// result; negative fields are never "fixed" here — Validate rejects
+// them.
+func (r Request) Normalized() Request {
+	if r.Workload.Kind == "" {
+		r.Workload.Kind = WorkloadMix
+	}
+	if r.Budget.WarmupInsts == 0 {
+		r.Budget.WarmupInsts = DefaultWarmup
+	}
+	if r.Budget.MeasureInsts == 0 {
+		r.Budget.MeasureInsts = DefaultMeasure
+	}
+	return r
+}
+
+// Validate checks the Request up front, before any simulation state is
+// built. Every failure wraps one of the package's typed sentinels:
+// ErrInvalidRequest (malformed budgets or workload), ErrUnknownBenchmark
+// (bad benchmark name), or ErrInvalidConfig (bad Machine).
+func (r Request) Validate() error {
+	n := r.Normalized()
+	invalid := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidRequest, fmt.Sprintf(format, args...))
+	}
+	switch {
+	case n.Budget.WarmupInsts < 0:
+		return invalid("negative warm-up budget %d", n.Budget.WarmupInsts)
+	case n.Budget.MeasureInsts < 0:
+		return invalid("negative measurement budget %d", n.Budget.MeasureInsts)
+	case n.Budget.MaxCycles < 0:
+		return invalid("negative cycle cap %d", n.Budget.MaxCycles)
+	case n.Workload.SegmentLen < 0:
+		return invalid("negative mix segment length %d", n.Workload.SegmentLen)
+	}
+	// Stray cross-field content is rejected rather than ignored: every
+	// field is part of the content hash, so a bench request carrying a
+	// leftover SegmentLen (say) would hash — and cache — apart from the
+	// canonical spelling of the same run.
+	switch n.Workload.Kind {
+	case WorkloadMix:
+		if n.Workload.Bench != "" || n.Workload.Custom != nil {
+			return invalid("mix workload must not name a benchmark")
+		}
+	case WorkloadBench:
+		if n.Workload.Custom != nil {
+			return invalid("bench workload must not carry a custom model")
+		}
+		if n.Workload.SegmentLen != 0 {
+			return invalid("segment length applies only to mix workloads")
+		}
+		if _, err := workload.ByName(n.Workload.Bench); err != nil {
+			return fmt.Errorf("daesim: %w", err)
+		}
+	case WorkloadCustom:
+		if n.Workload.Bench != "" {
+			return invalid("custom workload must not also name a built-in benchmark")
+		}
+		if n.Workload.SegmentLen != 0 {
+			return invalid("segment length applies only to mix workloads")
+		}
+		if n.Workload.Custom == nil {
+			return invalid("custom workload without a benchmark model")
+		}
+		if err := n.Workload.Custom.Validate(); err != nil {
+			return fmt.Errorf("%w: %w", ErrInvalidRequest, err)
+		}
+	default:
+		return invalid("unknown workload kind %q", n.Workload.Kind)
+	}
+	if err := n.Machine.Validate(); err != nil {
+		return fmt.Errorf("daesim: %w", err)
+	}
+	return nil
+}
+
+// Hash returns the Request's canonical content hash: a hex SHA-256 of
+// the normalized (machine, workload, budget) triple plus the result
+// cache's schema version. The hash identifies the run's *result* —
+// Label is excluded, and it is the same hash the sweep runner's on-disk
+// cache files are named by, so a Request can address results computed by
+// dae-sweep and vice versa.
+func (r Request) Hash() string {
+	return r.Normalized().job().Hash()
+}
+
+// job bridges the public Request to the runner's job description. The
+// mapping is 1:1 by construction, which is what keeps Request.Hash equal
+// to the runner's job hash (asserted by tests).
+func (r Request) job() runner.Job {
+	return runner.Job{
+		Key:     r.label(),
+		Machine: r.Machine,
+		Workload: runner.Workload{
+			Kind:       runner.WorkloadKind(r.Workload.Kind),
+			Bench:      r.Workload.Bench,
+			Custom:     r.Workload.Custom,
+			SegmentLen: r.Workload.SegmentLen,
+			Seed:       r.Workload.Seed,
+		},
+		Budget: runner.Budget{
+			WarmupInsts:  r.Budget.WarmupInsts,
+			MeasureInsts: r.Budget.MeasureInsts,
+			MaxCycles:    r.Budget.MaxCycles,
+		},
+	}
+}
+
+// label returns the request's display name, deriving one from the
+// configuration when no Label was set.
+func (r Request) label() string {
+	if r.Label != "" {
+		return r.Label
+	}
+	what := "mix"
+	switch r.Workload.Kind {
+	case WorkloadBench:
+		what = r.Workload.Bench
+	case WorkloadCustom:
+		what = "custom"
+		if r.Workload.Custom != nil && r.Workload.Custom.Name != "" {
+			what = r.Workload.Custom.Name
+		}
+	}
+	return fmt.Sprintf("%s threads=%d L2=%d", what, r.Machine.Threads, r.Machine.Mem.L2Latency)
+}

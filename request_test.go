@@ -1,0 +1,151 @@
+package daesim
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRequestNormalizationAndHashStability(t *testing.T) {
+	m := Figure2(2)
+	implicit := Request{Machine: m} // zero workload kind, zero budgets
+	explicit := Request{
+		Machine:  m,
+		Workload: Workload{Kind: WorkloadMix},
+		Budget:   Budget{WarmupInsts: DefaultWarmup, MeasureInsts: DefaultMeasure},
+	}
+	if implicit.Hash() != explicit.Hash() {
+		t.Error("defaulted and spelled-out requests hash differently")
+	}
+	if got := implicit.Normalized().Workload.Kind; got != WorkloadMix {
+		t.Errorf("empty kind normalized to %q, want mix", got)
+	}
+}
+
+func TestRequestHashExcludesLabel(t *testing.T) {
+	a := MixRequest(Figure2(1), RunOpts{})
+	b := a
+	b.Label = "completely different label"
+	if a.Hash() != b.Hash() {
+		t.Error("hash depends on the label")
+	}
+	c := a
+	c.Workload.Seed = 7
+	if a.Hash() == c.Hash() {
+		t.Error("seed change did not change the hash")
+	}
+	d := a
+	d.Machine = d.Machine.WithL2Latency(64)
+	if a.Hash() == d.Hash() {
+		t.Error("machine change did not change the hash")
+	}
+}
+
+func TestRequestJSONRoundTrip(t *testing.T) {
+	b, err := BenchmarkByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, req := range map[string]Request{
+		"mix":    MixRequest(Figure2(3), RunOpts{Seed: 5, SegmentLen: 1000}),
+		"bench":  BenchmarkRequest("fpppp", Section2().WithL2Latency(64), RunOpts{}),
+		"custom": CustomRequest(b, Figure2(1), RunOpts{Seed: 9}),
+	} {
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var back Request
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if back.Hash() != req.Hash() {
+			t.Errorf("%s: request hash not preserved across JSON round trip", name)
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("%s: round-tripped request invalid: %v", name, err)
+		}
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	valid := MixRequest(Figure2(1), RunOpts{})
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+
+	cases := []struct {
+		name     string
+		mutate   func(*Request)
+		sentinel error
+	}{
+		{"negative warmup", func(r *Request) { r.Budget.WarmupInsts = -1 }, ErrInvalidRequest},
+		{"negative measure", func(r *Request) { r.Budget.MeasureInsts = -5 }, ErrInvalidRequest},
+		{"negative max cycles", func(r *Request) { r.Budget.MaxCycles = -1 }, ErrInvalidRequest},
+		{"negative segment", func(r *Request) { r.Workload.SegmentLen = -1 }, ErrInvalidRequest},
+		{"unknown kind", func(r *Request) { r.Workload.Kind = "interleaved" }, ErrInvalidRequest},
+		{"mix with bench", func(r *Request) { r.Workload.Bench = "swim" }, ErrInvalidRequest},
+		{"custom without model", func(r *Request) { r.Workload.Kind = WorkloadCustom }, ErrInvalidRequest},
+		// Stray cross-field content would silently fork the content hash
+		// (every field is hashed), so it is rejected up front.
+		{"bench with segment", func(r *Request) {
+			r.Workload.Kind = WorkloadBench
+			r.Workload.Bench = "swim"
+			r.Workload.SegmentLen = 500
+		}, ErrInvalidRequest},
+		{"custom with stray bench", func(r *Request) {
+			b, _ := BenchmarkByName("swim")
+			r.Workload.Kind = WorkloadCustom
+			r.Workload.Custom = &b
+			r.Workload.Bench = "swim"
+		}, ErrInvalidRequest},
+		{"unknown benchmark", func(r *Request) {
+			r.Workload.Kind = WorkloadBench
+			r.Workload.Bench = "quake3"
+		}, ErrUnknownBenchmark},
+		{"zero threads", func(r *Request) { r.Machine.Threads = 0 }, ErrInvalidConfig},
+		{"bad fetch policy", func(r *Request) { r.Machine.FetchPolicy = "lru" }, ErrInvalidConfig},
+	}
+	for _, tc := range cases {
+		req := valid
+		tc.mutate(&req)
+		err := req.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid request accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.sentinel) {
+			t.Errorf("%s: error %v does not wrap the expected sentinel", tc.name, err)
+		}
+	}
+}
+
+func TestDeprecatedWrappersValidateUpFront(t *testing.T) {
+	// The old entry points share the Request validation: a negative
+	// budget or a bad benchmark fails fast with a typed error instead of
+	// deep in the simulator.
+	if _, err := RunMix(Figure2(1), RunOpts{MeasureInsts: -1}); !errors.Is(err, ErrInvalidRequest) {
+		t.Errorf("RunMix with negative budget: %v, want ErrInvalidRequest", err)
+	}
+	if _, err := RunBenchmark("quake3", Figure2(1), RunOpts{}); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Errorf("RunBenchmark with unknown name: %v, want ErrUnknownBenchmark", err)
+	}
+	if _, err := RunMix(Figure2(0), RunOpts{}); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("RunMix with zero threads: %v, want ErrInvalidConfig", err)
+	}
+	if _, err := RunCustom(Benchmark{}, Figure2(1), RunOpts{}); !errors.Is(err, ErrInvalidRequest) {
+		t.Errorf("RunCustom with empty model: %v, want ErrInvalidRequest", err)
+	}
+}
+
+func TestRequestLabelDerivation(t *testing.T) {
+	req := BenchmarkRequest("swim", Figure2(2).WithL2Latency(64), RunOpts{})
+	if got := req.label(); !strings.Contains(got, "swim") || !strings.Contains(got, "threads=2") {
+		t.Errorf("derived label %q missing workload or config", got)
+	}
+	req.Label = "mine"
+	if req.label() != "mine" {
+		t.Error("explicit label not honoured")
+	}
+}
