@@ -301,3 +301,41 @@ func TestHealthzGolden(t *testing.T) {
 		t.Errorf("healthz body:\n%s\nwant:\n%s", buf.String(), want)
 	}
 }
+
+// TestRunEndpointHierarchyRequest: the finite-hierarchy config surface
+// flows through the HTTP API — a Request with a shared L2 + DRAM runs,
+// reports per-level stats, and is served back by its canonical hash
+// even when the client left the stale flat L2 latency in place (the
+// server normalizes).
+func TestRunEndpointHierarchyRequest(t *testing.T) {
+	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 1}, 0)
+	req := daesim.MixRequest(daesim.Figure2(2).WithHierarchy(64, daesim.SharedL2(128<<10, 8)), tinyOpts())
+
+	// A client hand-editing JSON might leave the flat latency set; the
+	// canonical hash must not depend on it.
+	sloppy := req
+	sloppy.Machine.Mem.L2Latency = 16
+
+	var rr runResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/runs", sloppy, &rr); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if rr.Hash != req.Hash() {
+		t.Errorf("served hash %s, want normalized %s", rr.Hash, req.Hash())
+	}
+	if rr.Report == nil || len(rr.Report.MemLevels) != 1 {
+		t.Fatalf("report missing per-level stats: %+v", rr.Report)
+	}
+	l2 := rr.Report.MemLevels[0]
+	if l2.Name != "L2" || l2.Accesses == 0 {
+		t.Errorf("L2 level stats empty: %+v", l2)
+	}
+	// And the cache serves it back by hash, levels intact.
+	var again runResponse
+	if code := do(t, http.MethodGet, ts.URL+"/v1/runs/"+req.Hash(), nil, &again); code != http.StatusOK {
+		t.Fatalf("GET by hash status %d", code)
+	}
+	if !again.Cached || len(again.Report.MemLevels) != 1 {
+		t.Errorf("cache round-trip lost the hierarchy levels: %+v", again)
+	}
+}

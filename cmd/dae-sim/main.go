@@ -7,6 +7,8 @@
 //	dae-sim -threads 1 -bench swim -l2 64  # single benchmark, L2 latency 64
 //	dae-sim -threads 4 -nondecoupled       # decoupling disabled
 //	dae-sim -section2 -bench fpppp -l2 256 # the paper's Section-2 machine
+//	dae-sim -threads 4 -l2size 262144      # finite 256KB shared L2 + DRAM
+//	                                       # instead of the flat infinite L2
 package main
 
 import (
@@ -29,7 +31,13 @@ func main() {
 	var (
 		threads      = flag.Int("threads", 1, "hardware contexts")
 		bench        = flag.String("bench", "", "single benchmark to run (default: the all-benchmark mix); one of "+strings.Join(daesim.Benchmarks(), ","))
-		l2           = flag.Int64("l2", 16, "L2 latency in cycles")
+		l2           = flag.Int64("l2", 16, "flat L2 latency in cycles (ignored with -l2size)")
+		l2Size       = flag.Int("l2size", 0, "finite shared L2 capacity in bytes; 0 keeps the paper's infinite flat L2")
+		l2Assoc      = flag.Int("l2assoc", 8, "finite L2 associativity (with -l2size)")
+		l2MSHRs      = flag.Int("l2mshrs", 16, "finite L2 MSHR count (with -l2size)")
+		l2HitLat     = flag.Int64("l2hitlat", 16, "finite L2 array access latency in cycles (with -l2size)")
+		memBus       = flag.Int("membus", 16, "L2↔memory bus width in bytes/cycle (with -l2size)")
+		dram         = flag.Int64("dram", 64, "DRAM access latency in cycles behind the finite L2 (with -l2size)")
 		nondecoupled = flag.Bool("nondecoupled", false, "disable access/execute decoupling (no AP/EP slippage)")
 		section2     = flag.Bool("section2", false, "use the paper's Section-2 machine (4-way, shared FUs, scaled queues)")
 		warmup       = flag.Int64("warmup", daesim.DefaultWarmup, "warm-up instructions (excluded from stats)")
@@ -73,6 +81,13 @@ func main() {
 		m = daesim.Figure2(*threads)
 	}
 	m = m.WithThreads(*threads).WithL2Latency(*l2)
+	if *l2Size > 0 {
+		spec := daesim.SharedL2(*l2Size, *l2Assoc)
+		spec.MSHRs = *l2MSHRs
+		spec.HitLatency = *l2HitLat
+		spec.BusBytesPerCycle = *memBus
+		m = m.WithHierarchy(*dram, spec)
+	}
 	if *nondecoupled {
 		m = m.NonDecoupled()
 	}
@@ -102,7 +117,11 @@ func main() {
 			req = daesim.BenchmarkRequest(*bench, m, opts)
 			what = *bench
 		}
-		req.Label = fmt.Sprintf("dae-sim %s threads=%d L2=%d", what, m.Threads, m.Mem.L2Latency)
+		memDesc := fmt.Sprintf("L2=%d", m.Mem.L2Latency)
+		if *l2Size > 0 {
+			memDesc = fmt.Sprintf("l2size=%d", *l2Size)
+		}
+		req.Label = fmt.Sprintf("dae-sim %s threads=%d %s", what, m.Threads, memDesc)
 		if *hashOnly {
 			fmt.Println(req.Hash())
 			return

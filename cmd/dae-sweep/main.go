@@ -5,12 +5,14 @@
 //
 // Usage:
 //
+//	dae-sweep -fig list                # enumerate every figure/ablation
 //	dae-sweep -fig all                 # everything (minutes)
 //	dae-sweep -fig 1a|1b|1c|1d         # Figure 1 panels (Section-2 machine)
 //	dae-sweep -fig 3                   # Figure 3 issue-slot breakdown
 //	dae-sweep -fig 4a|4b|4c            # Figure 4 latency tolerance
 //	dae-sweep -fig 5                   # Figure 5 thread requirements
 //	dae-sweep -fig a1..a7              # ablations
+//	dae-sweep -fig i1                  # shared-L2 interference study
 //	dae-sweep -fig 1d -measure 2000000 # bigger budget per thread
 //	dae-sweep -fig all -cache .sweeps  # persist results; re-runs and
 //	                                   # crashed sweeps resume from disk
@@ -54,7 +56,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs := flag.NewFlagSet("dae-sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig      = fs.String("fig", "all", "which figure/ablation to regenerate (1a,1b,1c,1d,3,4a,4b,4c,5,a1..a7,all)")
+		fig      = fs.String("fig", "all", "which figure/ablation to regenerate ('list' enumerates them; 'all' runs everything)")
 		warmup   = fs.Int64("warmup", 0, "warm-up instructions per thread (0 = default)")
 		measure  = fs.Int64("measure", 0, "measured instructions per thread (0 = default)")
 		seed     = fs.Uint64("seed", 0, "workload seed")
@@ -117,6 +119,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 0
 		}
 		return 2
+	}
+	// The catalog listing needs no runner and must reach stdout even
+	// under -json (which discards table output).
+	if opts.fig == "list" {
+		listFigures(stdout)
+		return 0
 	}
 	if opts.csvDir != "" {
 		if err := os.MkdirAll(opts.csvDir, 0o755); err != nil {
@@ -243,7 +251,70 @@ func saveCSV(dir, name string, r csvWriter, stderr io.Writer) error {
 	return nil
 }
 
+// figureCatalog names every selectable figure and ablation with a
+// one-line description; `-fig list` prints it and the unknown-figure
+// error points at it.
+var figureCatalog = []struct{ key, desc string }{
+	{"1a", "Figure 1-a: average perceived FP-load miss latency vs L2 latency (Section-2 machine)"},
+	{"1b", "Figure 1-b: average perceived integer-load miss latency vs L2 latency"},
+	{"1c", "Figure 1-c: per-benchmark L1 miss ratios at L2 latency 256"},
+	{"1d", "Figure 1-d: IPC loss vs L2 latency, relative to the 1-cycle point"},
+	{"3", "Figure 3: AP/EP issue-slot breakdown vs hardware contexts (L2=16)"},
+	{"4a", "Figure 4-a: perceived load-miss latency vs L2 latency, 4 configurations"},
+	{"4b", "Figure 4-b: IPC loss vs L2 latency, 4 configurations"},
+	{"4c", "Figure 4-c: absolute IPC vs L2 latency, 4 configurations"},
+	{"5", "Figure 5: IPC vs contexts at L2 16/64 — decoupling cuts thread requirements"},
+	{"a1", "Ablation A1: per-unit issue widths (4 threads, L2=16)"},
+	{"a2", "Ablation A2: ICOUNT vs round-robin fetch (4 threads, L2=16)"},
+	{"a3", "Ablation A3: L1 associativity (4 threads, L2=16)"},
+	{"a4", "Ablation A4: SAQ store-to-load forwarding (4 threads, L2=16)"},
+	{"a5", "Ablation A5: MSHR count and bus width (4 threads, L2=64)"},
+	{"a6", "Ablation A6: fixed vs latency-scaled buffering (4 threads, L2=256)"},
+	{"a7", "Ablation A7: issue priority and branch predictor (4 threads, L2=16)"},
+	{"i1", "Ablation I1: shared-L2 interference — IPC and per-thread L2 miss ratio vs contexts at several finite L2 sizes (L2+DRAM hierarchy)"},
+}
+
+// listFigures renders the catalog.
+func listFigures(w io.Writer) {
+	fmt.Fprintln(w, "figures and ablations (-fig <key>, grouped keys like '1' or '4' select every panel):")
+	for _, f := range figureCatalog {
+		fmt.Fprintf(w, "  %-4s %s\n", f.key, f.desc)
+	}
+	fmt.Fprintln(w, "  all  every figure and ablation above")
+}
+
+// figureKeys returns the comma-joined catalog keys (for error text).
+func figureKeys() string {
+	keys := make([]string, len(figureCatalog))
+	for i, f := range figureCatalog {
+		keys[i] = f.key
+	}
+	return strings.Join(keys, ",")
+}
+
+// knownFigure reports whether fig selects something: a catalog key, a
+// panel group ("1", "4") or the catch-all ("list" never reaches here —
+// run() intercepts it before building a runner). The catalog is the
+// single source of truth for selectable keys — a new sweep branch below
+// is unreachable until its key is registered there, which is what keeps
+// `-fig list` and the dispatch from drifting apart.
+func knownFigure(fig string) bool {
+	switch fig {
+	case "all", "1", "4":
+		return true
+	}
+	for _, f := range figureCatalog {
+		if fig == f.key {
+			return true
+		}
+	}
+	return false
+}
+
 func sweep(fig string, budget experiments.Budget, csvDir string, stdout, stderr io.Writer) error {
+	if !knownFigure(fig) {
+		return fmt.Errorf("unknown figure %q (known: %s,all — run -fig list for descriptions)", fig, figureKeys())
+	}
 	want := func(keys ...string) bool {
 		if fig == "all" {
 			return true
@@ -329,7 +400,6 @@ func sweep(fig string, budget experiments.Budget, csvDir string, stdout, stderr 
 		{"a6", experiments.AblationScaling},
 		{"a7", experiments.AblationPolicies},
 	}
-	ranAny := fig == "all"
 	for _, a := range ablations {
 		if want(a.key) {
 			r, err := a.run(budget)
@@ -340,11 +410,17 @@ func sweep(fig string, budget experiments.Budget, csvDir string, stdout, stderr 
 				return err
 			}
 			fmt.Fprintln(stdout, r.Table())
-			ranAny = true
 		}
 	}
-	if !ranAny && !want("1a", "1b", "1c", "1d", "1", "3", "4a", "4b", "4c", "4", "5") {
-		return fmt.Errorf("unknown figure %q", fig)
+	if want("i1") {
+		r, err := experiments.Interference(budget)
+		if err != nil {
+			return err
+		}
+		if err := saveCSV(csvDir, "i1.csv", r, stderr); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, r.Table())
 	}
 	return nil
 }

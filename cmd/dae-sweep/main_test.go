@@ -78,8 +78,32 @@ func TestRunUnknownFigure(t *testing.T) {
 	if !strings.Contains(stderr.String(), `unknown figure "9z"`) {
 		t.Errorf("stderr = %q", stderr.String())
 	}
+	// The error enumerates every known key so the user need not guess.
+	for _, key := range []string{"1a", "a7", "i1", "-fig list"} {
+		if !strings.Contains(stderr.String(), key) {
+			t.Errorf("unknown-figure error does not mention %q: %q", key, stderr.String())
+		}
+	}
 	if stdout.Len() != 0 {
 		t.Errorf("unexpected stdout: %q", stdout.String())
+	}
+}
+
+func TestRunFigList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-fig", "list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	// Every catalog key appears with a description, including the
+	// interference study and the catch-all.
+	for _, f := range figureCatalog {
+		if !strings.Contains(out, f.key) || !strings.Contains(out, f.desc) {
+			t.Errorf("list output missing %q (%s)", f.key, f.desc)
+		}
+	}
+	if !strings.Contains(out, "all") {
+		t.Error("list output missing the 'all' key")
 	}
 }
 
@@ -105,6 +129,19 @@ func TestRunAblationOutputShape(t *testing.T) {
 	}
 	out := stdout.String()
 	for _, want := range []string{"Ablation A4", "config", "IPC", "bypass only (paper)", "forwarding"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunInterferenceOutputShape(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(tinyArgs("-fig", "i1"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Ablation I1", "L2 miss", "mem-bus", "64KB", "1024KB", "6T"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}

@@ -44,6 +44,7 @@ import (
 	"context"
 
 	"repro/internal/config"
+	"repro/internal/mem"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -55,8 +56,22 @@ type Machine = config.Machine
 
 // Report is the statistics snapshot of a finished run: IPC, issue-slot
 // breakdown, perceived load-miss latencies, memory counters and bus
-// utilization.
+// utilization (per level, for finite-hierarchy machines).
 type Report = stats.Report
+
+// LevelSpec configures one shared cache level of a finite memory
+// hierarchy; attach levels to a Machine with Machine.WithHierarchy. The
+// default Machine (empty hierarchy) runs the paper's infinite
+// flat-latency L2.
+type LevelSpec = mem.LevelSpec
+
+// LevelStats is one shared level's counter snapshot (Report.MemLevels).
+type LevelStats = mem.LevelStats
+
+// SharedL2 returns a LevelSpec for a finite shared L2 with the given
+// capacity and associativity and Figure-2-flavoured defaults (32-byte
+// lines, 16 MSHRs, 16-cycle array access, 16-byte/cycle memory bus).
+func SharedL2(sizeBytes, assoc int) LevelSpec { return config.SharedL2(sizeBytes, assoc) }
 
 // Benchmark is a synthetic workload model (one of the ten SPEC FP95
 // equivalents, or a custom definition built from StreamSpec and Kernel).

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -108,7 +109,7 @@ func TestEngineDeduplicatesConcurrentIdenticalRequests(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("caller %d: %v", i, errs[i])
 		}
-		if reports[i] != reports[0] {
+		if !reflect.DeepEqual(reports[i], reports[0]) {
 			t.Fatalf("caller %d received a different report", i)
 		}
 	}

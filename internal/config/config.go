@@ -186,11 +186,42 @@ func (m Machine) NonDecoupled() Machine {
 	return m
 }
 
-// WithL2Latency returns a copy of m with the L2 latency set (the paper's
-// swept parameter).
+// WithL2Latency returns a copy of m with the flat L2 latency set (the
+// paper's swept parameter). It applies to the default infinite-L2 model
+// only; machines built with WithHierarchy ignore it (and Validate
+// rejects a non-zero flat latency there).
 func (m Machine) WithL2Latency(lat int64) Machine {
 	m.Mem.L2Latency = lat
 	return m
+}
+
+// WithHierarchy returns a copy of m running a finite shared memory
+// hierarchy in place of the paper's flat infinite L2: the given levels
+// compose under the private L1 (levels[0] is the shared L2), the last
+// one backed by a fixed-latency DRAM reached over that level's
+// BusBytesPerCycle-wide memory bus. The flat L2Latency is zeroed — it is
+// meaningless under a hierarchy, and normalizing it keeps every
+// hierarchy machine's content hash canonical.
+func (m Machine) WithHierarchy(dramLatency int64, levels ...mem.LevelSpec) Machine {
+	m.Mem.Hierarchy = append([]mem.LevelSpec(nil), levels...)
+	m.Mem.DRAMLatency = dramLatency
+	m.Mem.L2Latency = 0
+	return m
+}
+
+// SharedL2 returns a LevelSpec for a finite shared L2 with the given
+// capacity and associativity and Figure-2-flavoured defaults: 32-byte
+// lines matching the L1, 16 MSHRs, a 16-cycle array access (the paper's
+// baseline flat-L2 latency, so an L2 hit costs what the default model
+// charges every miss), and a 16-byte/cycle downstream bus.
+func SharedL2(sizeBytes, assoc int) mem.LevelSpec {
+	return mem.LevelSpec{
+		Name:             "L2",
+		Cache:            cache.Config{SizeBytes: sizeBytes, LineBytes: 32, Assoc: assoc},
+		MSHRs:            16,
+		HitLatency:       16,
+		BusBytesPerCycle: 16,
+	}
 }
 
 // WithThreads returns a copy of m with the thread count set.
@@ -277,6 +308,10 @@ func (m Machine) Validate() error {
 		return fail("EP registers %d must exceed the 32 architectural mappings", m.EPRegs)
 	case m.GraduateWidth <= 0:
 		return fail("graduate width %d must be positive", m.GraduateWidth)
+	case m.ScaleWithLatency && len(m.Mem.Hierarchy) > 0:
+		// The Section-2 rule scales buffers with the flat L2 latency,
+		// which a finite hierarchy does not have.
+		return fail("latency-proportional scaling applies only to the flat L2 model")
 	}
 	switch m.FetchPolicy {
 	case FetchICOUNT, FetchRoundRobin, "":

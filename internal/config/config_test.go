@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/branch"
+	"repro/internal/mem"
 )
 
 func TestFigure2MatchesPaper(t *testing.T) {
@@ -235,5 +236,37 @@ func TestPredictorValidation(t *testing.T) {
 	m.Predictor = "neural"
 	if err := m.Validate(); err == nil {
 		t.Error("unknown predictor accepted")
+	}
+}
+
+func TestWithHierarchy(t *testing.T) {
+	m := Figure2(4).WithHierarchy(64, SharedL2(512<<10, 8))
+	if err := m.Validate(); err != nil {
+		t.Fatalf("hierarchy machine rejected: %v", err)
+	}
+	if m.Mem.L2Latency != 0 {
+		t.Errorf("WithHierarchy left flat L2 latency %d, want 0 (hash canonicalization)", m.Mem.L2Latency)
+	}
+	if m.Mem.DRAMLatency != 64 || len(m.Mem.Hierarchy) != 1 {
+		t.Errorf("hierarchy not attached: %+v", m.Mem)
+	}
+	spec := SharedL2(512<<10, 8)
+	if spec.Name != "L2" || spec.Cache.LineBytes != 32 || spec.HitLatency != 16 {
+		t.Errorf("SharedL2 defaults = %+v", spec)
+	}
+	// The Section-2 latency-scaling rule has no flat latency to scale
+	// with under a hierarchy.
+	s2 := Section2()
+	s2 = s2.WithHierarchy(64, SharedL2(256<<10, 4))
+	if err := s2.Validate(); err == nil {
+		t.Error("ScaleWithLatency with a hierarchy accepted")
+	}
+	// WithHierarchy copies its level slice: mutating the argument later
+	// must not reach into the machine.
+	levels := []mem.LevelSpec{SharedL2(256<<10, 4)}
+	m2 := Figure2(1).WithHierarchy(64, levels...)
+	levels[0].MSHRs = 0
+	if m2.Mem.Hierarchy[0].MSHRs == 0 {
+		t.Error("WithHierarchy aliased the caller's level slice")
 	}
 }

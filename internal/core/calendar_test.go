@@ -144,6 +144,142 @@ func TestCalendarStaleEvents(t *testing.T) {
 	}
 }
 
+// TestCalendarFarNearInterleave: near events (inside the wheel window)
+// and far events (overflow heap) scheduled interleaved surface in strict
+// cycle order, including far events whose wheel migration happens while
+// newer near events keep arriving.
+func TestCalendarFarNearInterleave(t *testing.T) {
+	var c calendar
+	ref := calRef{}
+	now := int64(0)
+	sched := func(at int64) {
+		c.schedule(now, at)
+		if at > now+1 {
+			ref.schedule(at)
+		}
+	}
+	// Alternate near and far at increasing distances, including several
+	// sharing one far cycle (coalesce) and a far event exactly at the
+	// window boundary.
+	for i := int64(1); i <= 8; i++ {
+		sched(now + 2 + 3*i)                  // near cluster
+		sched(now + calWindow + 100*i)        // far heap
+		sched(now + i*calWindow)              // whole windows out
+		sched(now + calWindow + 100*i)        // duplicate far cycle
+		sched(now + calWindow + int64(1))     // boundary: first heap cycle
+		sched(now + calWindow - int64(2*i+1)) // just inside the wheel
+	}
+	for {
+		want := ref.nextAfter(now)
+		got := c.nextAfter(now)
+		if got != want {
+			t.Fatalf("nextAfter(%d) = %d, want %d", now, got, want)
+		}
+		if want == Never {
+			break
+		}
+		// Consuming an event can itself schedule new work (a fill
+		// triggering a retry): keep the heap churning while draining.
+		if want%3 == 0 {
+			c.schedule(want, want+calWindow+7)
+			ref.schedule(want + calWindow + 7)
+		}
+		now = want
+	}
+	if !c.empty() {
+		t.Fatal("calendar not empty after drain")
+	}
+}
+
+// TestCalendarCancelReinsert: a far event whose cause was cancelled (the
+// machine jumps past it without consuming) is swept on advance, and
+// re-inserting the same absolute cycle later — now near, at the aliased
+// wheel index — behaves like a fresh event, ordered against both newer
+// and older survivors.
+func TestCalendarCancelReinsert(t *testing.T) {
+	var c calendar
+	// One far event that will be cancelled, one that survives.
+	c.schedule(0, 2*calWindow+50)
+	c.schedule(0, 3*calWindow+10)
+	// Jump over the first (cancellation by fast-forward past it).
+	now := int64(2*calWindow + 100)
+	if got := c.nextAfter(now); got != 3*calWindow+10 {
+		t.Fatalf("survivor: nextAfter = %d, want %d", got, int64(3*calWindow+10))
+	}
+	// Re-insert the cancelled event's aliased wheel index at a new
+	// absolute cycle (same cycle&calMask as the swept one) plus a later
+	// far event; ordering must be by absolute cycle, no resurrection.
+	reinsert := int64(3*calWindow + 50) // aliases 2*calWindow+50
+	c.schedule(now, reinsert)
+	c.schedule(now, 5*calWindow)
+	want := []int64{3*calWindow + 10, reinsert, 5 * calWindow}
+	for _, w := range want {
+		got := c.nextAfter(now)
+		if got != w {
+			t.Fatalf("nextAfter(%d) = %d, want %d", now, got, w)
+		}
+		now = got
+	}
+	if got := c.nextAfter(now); got != Never {
+		t.Fatalf("stale/cancelled event resurfaced: %d", got)
+	}
+	// Re-inserting an already-consumed cycle schedules it again (a new
+	// event at an old index must not be mistaken for consumed state).
+	c.schedule(now, now+10)
+	if got := c.nextAfter(now); got != now+10 {
+		t.Fatalf("re-inserted cycle: nextAfter = %d, want %d", got, now+10)
+	}
+}
+
+// TestCalendarFarHeapOrdering stresses the overflow min-heap directly:
+// hundreds of far events inserted in adversarial (descending,
+// interleaved, duplicated) orders must drain in sorted order through
+// the wheel as it advances, validated against the oracle.
+func TestCalendarFarHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var c calendar
+		ref := calRef{}
+		now := int64(rng.Intn(10_000))
+		n := 200 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			var at int64
+			switch i % 3 {
+			case 0: // descending ladder — worst case for a naive heap push
+				at = now + int64(50-i%50+2)*calWindow
+			case 1: // random far
+				at = now + calWindow + 1 + int64(rng.Intn(40*calWindow))
+			default: // near, to interleave wheel and heap at every drain step
+				at = now + 2 + int64(rng.Intn(calWindow-2))
+			}
+			c.schedule(now, at)
+			if at > now+1 {
+				ref.schedule(at)
+			}
+		}
+		// Drain with occasional long jumps (cancellation sweeps) mixed
+		// into ordinary consumption.
+		for {
+			want := ref.nextAfter(now)
+			got := c.nextAfter(now)
+			if got != want {
+				t.Fatalf("trial %d: nextAfter(%d) = %d, want %d", trial, now, got, want)
+			}
+			if want == Never {
+				break
+			}
+			if rng.Intn(8) == 0 {
+				now = want + int64(rng.Intn(3*calWindow)) // skip a stretch
+			} else {
+				now = want
+			}
+		}
+		if len(c.far) != 0 {
+			t.Fatalf("trial %d: %d far events left after drain", trial, len(c.far))
+		}
+	}
+}
+
 // TestCalendarAgainstReference drives random schedules and queries
 // against a brute-force oracle, including adversarial clustering around
 // window boundaries.

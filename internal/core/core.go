@@ -105,6 +105,13 @@ func New(m config.Machine, sources []trace.Reader) (*Core, error) {
 		return nil, err
 	}
 	c := &Core{cfg: m, mem: ms, branchResolveAt: Never}
+	// Shared hierarchy levels (finite L2 and below) install lines — and
+	// book dirty-victim write-backs on their downstream buses — at their
+	// fill cycles; registering the calendar here guarantees the machine
+	// ticks at exactly those cycles, so fast-forwarding stays
+	// bit-identical to stepping. The default flat model books no such
+	// fills and never calls back.
+	ms.SetFillScheduler(func(at int64) { c.cal.schedule(c.now, at) })
 	for i := 0; i < m.Threads; i++ {
 		ctx, err := newContext(i, m, sources[i])
 		if err != nil {
@@ -531,11 +538,12 @@ func (c *Core) tryLoad(ctx *Context, d *DynInst) loadOutcome {
 	c.progressed = true
 	res := c.mem.Load(d.Addr)
 	if !res.OK {
-		if res.Stall == mem.StallMSHR {
-			// The load is queued behind a full MSHR file: it will almost
-			// certainly miss. Mark its destination now so consumers
-			// blocked on it are classified (and sampled) as memory
-			// stalls rather than FU stalls.
+		if res.Stall == mem.StallMSHR || res.Stall == mem.StallLowerMSHR {
+			// The load is queued behind a full MSHR file (at L1 or at a
+			// shared level below): it will almost certainly miss. Mark
+			// its destination now so consumers blocked on it are
+			// classified (and sampled) as memory stalls rather than FU
+			// stalls.
 			if e := ctx.files[d.DestFile].Entry(d.PDest); !e.MissedLoad {
 				e.MissedLoad = true
 				e.Sampled = false

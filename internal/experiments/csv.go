@@ -127,3 +127,19 @@ func (r *AblationResult) WriteCSV(w io.Writer) error {
 	}
 	return writeCSV(w, header, rows)
 }
+
+// WriteCSV emits the interference grid in long form:
+// l2_bytes,threads,ipc,l2_miss,mem_bus_util
+func (r *InterferenceResult) WriteCSV(w io.Writer) error {
+	header := []string{"l2_bytes", "threads", "ipc", "l2_miss", "mem_bus_util"}
+	var rows [][]string
+	for si, size := range r.Sizes {
+		for ti, t := range r.Threads {
+			rows = append(rows, []string{
+				strconv.Itoa(size), strconv.Itoa(t),
+				fs(r.IPC[si][ti]), fs(r.L2Miss[si][ti]), fs(r.MemBus[si][ti]),
+			})
+		}
+	}
+	return writeCSV(w, header, rows)
+}

@@ -129,3 +129,23 @@ func parseF(t *testing.T, s string) float64 {
 	}
 	return v
 }
+
+func TestInterferenceCSV(t *testing.T) {
+	r, err := InterferenceGrid(testBudget(), []int{64 << 10, 1 << 20}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, b.String())
+	if len(rows) != 1+len(r.Sizes)*len(r.Threads) {
+		t.Fatalf("%d rows, want header + %d points", len(rows), len(r.Sizes)*len(r.Threads))
+	}
+	for _, row := range rows[1:] {
+		if miss := parseF(t, row[3]); miss < 0 || miss > 1 {
+			t.Fatalf("miss ratio %s out of range", row[3])
+		}
+	}
+}

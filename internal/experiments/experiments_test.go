@@ -398,3 +398,77 @@ func TestFigSweepsHitSharedCache(t *testing.T) {
 		}
 	}
 }
+
+func TestInterferenceStructure(t *testing.T) {
+	b := testBudget()
+	// The trimmed grid keeps the quantitative invariants (the capacity
+	// extremes, where the interference signal lives) at a fraction of
+	// the canonical grid's cost; the canonical axes are exercised by the
+	// -fig i1 CLI path and the determinism gate.
+	sizes := []int{64 << 10, 1 << 20}
+	threads := []int{1, 2, 4, 6}
+	r, err := InterferenceGrid(b, sizes, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.IPC) != len(sizes) || len(r.IPC[0]) != len(threads) {
+		t.Fatalf("grid shape %dx%d, want %dx%d", len(r.IPC), len(r.IPC[0]), len(sizes), len(threads))
+	}
+	for si := range sizes {
+		for ti := range threads {
+			if r.IPC[si][ti] <= 0 {
+				t.Errorf("L2=%d t=%d: non-positive IPC", sizes[si], threads[ti])
+			}
+			if r.L2Miss[si][ti] < 0 || r.L2Miss[si][ti] > 1 {
+				t.Errorf("L2=%d t=%d: miss ratio %f out of range", sizes[si], threads[ti], r.L2Miss[si][ti])
+			}
+		}
+	}
+	for _, want := range []string{"L2 miss", "64KB", "1024KB", "mem-bus"} {
+		if !strings.Contains(r.Table(), want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+	if quant() {
+		small, large := 0, 1
+		lastT := len(threads) - 1
+		// One context cannot interfere with itself: at a single thread
+		// the L2 capacity barely matters (both runs are compulsory-miss
+		// dominated over this budget).
+		if d := r.L2Miss[small][0] - r.L2Miss[large][0]; d > 0.1 || d < -0.1 {
+			t.Errorf("1-thread miss ratios differ by %.3f across capacities (%.3f vs %.3f)",
+				d, r.L2Miss[small][0], r.L2Miss[large][0])
+		}
+		// The interference signature: at six contexts the small L2's
+		// per-thread miss ratio is far above the large one's.
+		gap := r.L2Miss[small][lastT] - r.L2Miss[large][lastT]
+		if gap < 0.2 {
+			t.Errorf("6-thread capacity gap %.3f, want > 0.2 (small %.3f, large %.3f)",
+				gap, r.L2Miss[small][lastT], r.L2Miss[large][lastT])
+		}
+		// At the small capacity the miss ratio climbs as contexts are
+		// added (from 2 contexts on: the 1-thread point is cold-start
+		// dominated); at the large one it never climbs comparably.
+		for ti := 2; ti <= lastT; ti++ {
+			if r.L2Miss[small][ti] <= r.L2Miss[small][ti-1] {
+				t.Errorf("small L2 miss ratio not rising: t=%d %.3f <= t=%d %.3f",
+					threads[ti], r.L2Miss[small][ti], threads[ti-1], r.L2Miss[small][ti-1])
+			}
+		}
+		if rise := r.L2Miss[large][lastT] - r.L2Miss[large][1]; rise > 0.1 {
+			t.Errorf("large L2 miss ratio rose %.3f from 2 to %d contexts, want flat",
+				rise, threads[lastT])
+		}
+		// Interference costs throughput: the roomy L2 outruns the tiny
+		// one at full occupancy.
+		if r.IPC[large][lastT] <= r.IPC[small][lastT] {
+			t.Errorf("6-thread IPC %.2f (1MB) not above %.2f (64KB)",
+				r.IPC[large][lastT], r.IPC[small][lastT])
+		}
+		// Contention shows on the memory bus too.
+		if r.MemBus[small][lastT] <= r.MemBus[large][lastT] {
+			t.Errorf("6-thread memory-bus utilization %.2f (64KB) not above %.2f (1MB)",
+				r.MemBus[small][lastT], r.MemBus[large][lastT])
+		}
+	}
+}

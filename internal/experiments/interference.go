@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/runner"
+)
+
+// This file implements the shared-L2 interference study (ablation I1),
+// the first experiment built on the composable memory hierarchy: the
+// Figure-2 machine with its infinite flat L2 replaced by a finite shared
+// L2 over DRAM, swept across hardware contexts at several L2 capacities.
+// It reproduces the structure of thread-coupling-through-a-shared-cache
+// studies (Desai 2023): every context runs its own working set, so as
+// contexts are added the per-thread L2 miss ratio climbs at small
+// capacities — the threads evict each other — and flattens once the
+// cache is large enough to hold the combined working sets.
+
+// InterferenceThreads is the context-count axis (the Figure-3 axis).
+var InterferenceThreads = []int{1, 2, 3, 4, 5, 6}
+
+// InterferenceL2Sizes is the canonical L2-capacity axis: an L2 no larger
+// than the L1 (pure conflict territory), a middling capacity, and one
+// roomy enough that the miss curve flattens.
+var InterferenceL2Sizes = []int{64 << 10, 256 << 10, 1 << 20}
+
+// InterferenceDRAMLatency is the fixed DRAM latency behind the L2.
+const InterferenceDRAMLatency = 64
+
+// interferenceMachine builds the study's machine: Figure-2 with a
+// finite shared L2 (8-way, Figure-2-flavoured defaults) of the given
+// capacity, backed by DRAM.
+func interferenceMachine(threads, l2Size int) config.Machine {
+	return config.Figure2(threads).WithHierarchy(InterferenceDRAMLatency, config.SharedL2(l2Size, 8))
+}
+
+// InterferenceResult is the sweep grid: rows are L2 sizes, columns are
+// context counts.
+type InterferenceResult struct {
+	// Sizes is the L2 capacity axis in bytes.
+	Sizes []int
+	// Threads is the context-count axis.
+	Threads []int
+	// IPC[s][t] is machine throughput.
+	IPC [][]float64
+	// L2Miss[s][t] is the per-thread L2 miss ratio (primary misses per
+	// accepted L2 access — the miss ratio each thread experiences at the
+	// shared level).
+	L2Miss [][]float64
+	// MemBus[s][t] is the L2↔memory bus utilization.
+	MemBus [][]float64
+}
+
+// Interference runs the canonical grid.
+func Interference(b Budget) (*InterferenceResult, error) {
+	return InterferenceGrid(b, InterferenceL2Sizes, InterferenceThreads)
+}
+
+// InterferenceGrid runs the study over a caller-chosen grid (tests trim
+// it; the canonical axes make the committed figure).
+func InterferenceGrid(b Budget, sizes []int, threads []int) (*InterferenceResult, error) {
+	r := &InterferenceResult{
+		Sizes:   sizes,
+		Threads: threads,
+		IPC:     make([][]float64, len(sizes)),
+		L2Miss:  make([][]float64, len(sizes)),
+		MemBus:  make([][]float64, len(sizes)),
+	}
+	var jobs []runner.Job
+	for _, size := range sizes {
+		for _, t := range threads {
+			jobs = append(jobs, b.mixJob(
+				fmt.Sprintf("interference L2=%dKB threads=%d", size>>10, t),
+				interferenceMachine(t, size)))
+		}
+	}
+	reps, err := b.sweep(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for si := range sizes {
+		r.IPC[si] = make([]float64, len(threads))
+		r.L2Miss[si] = make([]float64, len(threads))
+		r.MemBus[si] = make([]float64, len(threads))
+		for ti := range threads {
+			rep := reps[si*len(threads)+ti]
+			r.IPC[si][ti] = rep.IPC()
+			if len(rep.MemLevels) > 0 {
+				r.L2Miss[si][ti] = rep.MemLevels[0].MissRatio()
+				r.MemBus[si][ti] = rep.MemLevels[0].BusUtilization
+			}
+		}
+	}
+	return r, nil
+}
+
+// Table renders the grid: one row per (L2 size, metric) pair across the
+// context axis.
+func (r *InterferenceResult) Table() string {
+	header := []string{"L2 size", "metric"}
+	for _, t := range r.Threads {
+		header = append(header, fmt.Sprintf("%dT", t))
+	}
+	var rows [][]string
+	for si, size := range r.Sizes {
+		label := fmt.Sprintf("%dKB", size>>10)
+		ipc := []string{label, "IPC"}
+		miss := []string{"", "L2 miss"}
+		bus := []string{"", "mem-bus"}
+		for ti := range r.Threads {
+			ipc = append(ipc, f2(r.IPC[si][ti]))
+			miss = append(miss, pct(r.L2Miss[si][ti]))
+			bus = append(bus, pct(r.MemBus[si][ti]))
+		}
+		rows = append(rows, ipc, miss, bus)
+	}
+	return formatTable(
+		"Ablation I1: shared-L2 interference — IPC and per-thread L2 miss ratio vs contexts (finite L2 + DRAM)",
+		header, rows)
+}

@@ -1,20 +1,24 @@
-// Package mem glues the L1 data cache, the MSHRs and the L1↔L2 bus into
-// the lockup-free memory subsystem of the paper's machine (Figure 2):
+// Package mem models the lockup-free memory subsystem of the paper's
+// machine (Figure 2) as a composable hierarchy of cache levels:
 //
 //   - L1 on-chip data cache: 64 KB direct-mapped, 32-byte lines,
 //     write-back/write-allocate, 1-cycle hit, a configurable number of
 //     ports (4 in the multithreaded machine, 2 in the Section-2 machine);
 //   - 16 MSHRs making the cache lockup-free: misses to distinct lines
 //     proceed in parallel, secondary misses merge into the pending entry;
-//   - an infinite, multibanked off-chip L2 with a fixed hit latency (the
-//     paper sweeps 1–256 cycles);
-//   - a 16-byte/cycle bus carrying miss requests, line refills and dirty
-//     write-backs.
+//   - below the L1, either the paper's infinite, multibanked off-chip L2
+//     with a fixed hit latency (the default model, swept 1–256 cycles), or
+//     a configurable chain of finite shared cache levels (Hierarchy) —
+//     each with its own tags, MSHRs and write-backs — terminated by a
+//     fixed-latency DRAM behind a bandwidth-limited memory bus;
+//   - a 16-byte/cycle bus per level carrying miss requests, line refills
+//     and dirty write-backs.
 //
 // The subsystem is cycle-stepped: the core calls BeginCycle once per cycle
-// (which completes fills and frees MSHRs), then issues Load/StoreCommit
-// accesses, which either succeed with a data-ready cycle or report a
-// structural stall (no free port, no free MSHR) to be retried next cycle.
+// (which completes fills bottom-up and frees MSHRs), then issues
+// Load/StoreCommit accesses, which either succeed with a data-ready cycle
+// or report a structural stall (no free port, no free MSHR at some level)
+// to be retried next cycle.
 package mem
 
 import (
@@ -22,7 +26,6 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/cache"
-	"repro/internal/queue"
 )
 
 // Config parameterises the memory subsystem.
@@ -31,15 +34,27 @@ type Config struct {
 	L1 cache.Config
 	// Ports is the number of L1 accesses accepted per cycle.
 	Ports int
-	// MSHRs is the number of miss status holding registers.
+	// MSHRs is the number of L1 miss status holding registers.
 	MSHRs int
 	// HitLatency is the L1 hit latency in cycles.
 	HitLatency int64
-	// L2Latency is the L2 access latency in cycles (the paper's swept
-	// parameter).
+	// L2Latency is the flat infinite L2's access latency in cycles (the
+	// paper's swept parameter). It applies only to the default model and
+	// must be zero when Hierarchy is set.
 	L2Latency int64
-	// BusBytesPerCycle is the L1↔L2 bus width (16 in Figure 2).
+	// BusBytesPerCycle is the L1's downstream bus width (16 in Figure 2).
 	BusBytesPerCycle int
+
+	// Hierarchy, when non-empty, replaces the infinite flat L2 with a
+	// chain of finite shared cache levels under the L1 (Hierarchy[0] is
+	// the L2), the last of which is backed by DRAM. Empty selects the
+	// paper's default flat model; the field is normalized away at
+	// defaults so existing configuration hashes are unchanged.
+	Hierarchy []LevelSpec `json:",omitempty"`
+	// DRAMLatency is the fixed DRAM access latency behind the last
+	// hierarchy level; its bandwidth limit is the last level's
+	// BusBytesPerCycle (the memory bus). Hierarchy mode only.
+	DRAMLatency int64 `json:",omitempty"`
 }
 
 // Validate checks the configuration.
@@ -54,12 +69,42 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mem: MSHRs %d must be positive", c.MSHRs)
 	case c.HitLatency <= 0:
 		return fmt.Errorf("mem: hit latency %d must be positive", c.HitLatency)
-	case c.L2Latency <= 0:
-		return fmt.Errorf("mem: L2 latency %d must be positive", c.L2Latency)
 	case c.BusBytesPerCycle <= 0:
 		return fmt.Errorf("mem: bus width %d must be positive", c.BusBytesPerCycle)
 	}
+	if len(c.Hierarchy) == 0 {
+		switch {
+		case c.L2Latency <= 0:
+			return fmt.Errorf("mem: L2 latency %d must be positive", c.L2Latency)
+		case c.DRAMLatency != 0:
+			return fmt.Errorf("mem: DRAM latency %d requires a hierarchy", c.DRAMLatency)
+		}
+		return nil
+	}
+	// Finite hierarchy: the flat latency is meaningless and must be
+	// normalized to zero (config.Machine.WithHierarchy and
+	// Request.Normalized do) so two spellings of the same machine cannot
+	// hash apart.
+	if c.L2Latency != 0 {
+		return fmt.Errorf("mem: flat L2 latency %d is unused with a hierarchy (set it to 0)", c.L2Latency)
+	}
+	if c.DRAMLatency <= 0 {
+		return fmt.Errorf("mem: DRAM latency %d must be positive with a hierarchy", c.DRAMLatency)
+	}
+	for _, lv := range c.Hierarchy {
+		if err := lv.Validate(c.L1); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// levelName returns the display name of hierarchy level i (L2 onward).
+func levelName(spec LevelSpec, i int) string {
+	if spec.Name != "" {
+		return spec.Name
+	}
+	return fmt.Sprintf("L%d", i+2)
 }
 
 // StallReason classifies why an access could not be accepted this cycle.
@@ -70,8 +115,11 @@ const (
 	StallNone StallReason = iota
 	// StallPort: all L1 ports are taken this cycle.
 	StallPort
-	// StallMSHR: the access misses and no MSHR is free.
+	// StallMSHR: the access misses and no L1 MSHR is free.
 	StallMSHR
+	// StallLowerMSHR: the access misses through to a shared level whose
+	// MSHR file is full (finite hierarchy only).
+	StallLowerMSHR
 )
 
 func (s StallReason) String() string {
@@ -82,6 +130,8 @@ func (s StallReason) String() string {
 		return "port"
 	case StallMSHR:
 		return "mshr"
+	case StallLowerMSHR:
+		return "lower-mshr"
 	default:
 		return fmt.Sprintf("stall(%d)", uint8(s))
 	}
@@ -101,21 +151,26 @@ type Result struct {
 	Miss bool
 }
 
-// Stats aggregates memory subsystem counters. Miss counters are *primary*
-// misses (one per line fetched from L2); accesses that merge into a
-// pending MSHR are delayed hits and appear only in SecondaryMisses — the
-// accounting Figure 1-c of the paper implies (its ratios track lines
-// fetched, not stalled accesses).
+// Stats aggregates L1/memory subsystem counters. Miss counters are
+// *primary* misses (one per line fetched from below); accesses that merge
+// into a pending MSHR are delayed hits and appear only in
+// SecondaryMisses — the accounting Figure 1-c of the paper implies (its
+// ratios track lines fetched, not stalled accesses). Shared hierarchy
+// levels keep their own LevelStats (System.LevelStats).
 type Stats struct {
 	LoadAccesses    int64
 	LoadMisses      int64
 	StoreAccesses   int64
 	StoreMisses     int64
 	SecondaryMisses int64 // accesses merged into a pending MSHR (delayed hits)
-	Writebacks      int64 // dirty lines written back to L2
+	Writebacks      int64 // dirty lines written back below L1
 	Fills           int64 // lines installed in L1
 	PortRejects     int64 // accesses rejected for lack of a port
-	MSHRRejects     int64 // accesses rejected for lack of an MSHR
+	MSHRRejects     int64 // accesses rejected for lack of an L1 MSHR
+	// LowerRejects counts accesses rejected because a shared level below
+	// ran out of MSHRs (always 0 in the default flat model, and omitted
+	// from reports there so result hashes are unchanged).
+	LowerRejects int64 `json:",omitempty"`
 }
 
 // LoadMissRatio returns load misses / load accesses (0 if no loads).
@@ -134,42 +189,23 @@ func (s Stats) StoreMissRatio() float64 {
 	return float64(s.StoreMisses) / float64(s.StoreAccesses)
 }
 
-type mshr struct {
-	line  uint64
-	fill  int64 // cycle the line is installed in L1
-	dirty bool  // a store merged into this miss: mark dirty at fill
-	valid bool
-}
-
-// System is the memory subsystem. Create with New; not safe for concurrent
-// use (the simulator is single-goroutine by design).
+// System is the memory subsystem: the port-arbitrated L1 level over a
+// backend chain of shared levels ending in a fixed-latency terminus.
+// Create with New; not safe for concurrent use (the simulator is
+// single-goroutine by design).
 type System struct {
-	cfg   Config
-	l1    *cache.Cache
-	bus   *bus.Bus
-	mshrs []mshr
-
-	// mshrsInUse counts valid entries.
-	mshrsInUse int
-	// fillq holds the occupied MSHR indices in allocation order. Bus
-	// reservations are monotonic (bus.Reserve never books earlier than a
-	// previous reservation), so allocation order is also fill-time
-	// order: BeginCycle pops due refills from the head in O(1) instead
-	// of scanning the file, and the head's fill time is the exact
-	// next-fill bound.
-	fillq *queue.Ring[int]
-	// lineIdx maps a pending line to its MSHR index for large files
-	// (nil for the paper-sized 16-entry file, where walking the
-	// occupied FIFO beats hashing; high thread counts scale the file
-	// into the hundreds, where a linear probe per miss would be
-	// quadratic in outstanding misses).
-	lineIdx map[uint64]int
-	// freeIdx stacks the free MSHR indices.
-	freeIdx []int
+	cfg Config
+	l1  *level
+	// levels are the shared hierarchy levels under the L1, top-down
+	// (levels[0] is the L2). Nil in the default flat model.
+	levels []*level
 
 	now       int64
 	portsUsed int
 	stats     Stats
+	l1Stats   LevelStats
+	// levelStats backs each shared level's counters.
+	levelStats []LevelStats
 }
 
 // New builds a memory subsystem. It returns an error for invalid
@@ -178,103 +214,99 @@ func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{
-		cfg:     cfg,
-		l1:      cache.New(cfg.L1),
-		bus:     bus.New(cfg.BusBytesPerCycle),
-		mshrs:   make([]mshr, cfg.MSHRs),
-		fillq:   queue.New[int](cfg.MSHRs),
-		freeIdx: make([]int, 0, cfg.MSHRs),
+	s := &System{cfg: cfg}
+	// Build bottom-up: DRAM (or the flat infinite L2) first, then each
+	// shared level over it, then the L1 on top.
+	var lower backend = terminus{latency: cfg.L2Latency}
+	if n := len(cfg.Hierarchy); n > 0 {
+		lower = terminus{latency: cfg.DRAMLatency}
+		s.levelStats = make([]LevelStats, n)
+		s.levels = make([]*level, n)
+		for i := n - 1; i >= 0; i-- {
+			spec := cfg.Hierarchy[i]
+			s.levelStats[i].Name = levelName(spec, i)
+			s.levels[i] = newLevel(spec.Cache, spec.MSHRs, spec.HitLatency,
+				spec.BusBytesPerCycle, lower, &s.levelStats[i])
+			lower = s.levels[i]
+		}
 	}
-	if cfg.MSHRs > smallMSHRFile {
-		s.lineIdx = make(map[uint64]int, cfg.MSHRs)
-	}
-	// Pop order is ascending index for determinism.
-	for i := cfg.MSHRs - 1; i >= 0; i-- {
-		s.freeIdx = append(s.freeIdx, i)
-	}
+	s.l1 = newLevel(cfg.L1, cfg.MSHRs, cfg.HitLatency, cfg.BusBytesPerCycle, lower, &s.l1Stats)
 	return s, nil
 }
-
-// smallMSHRFile is the file size up to which findMSHR's FIFO walk beats
-// a hash lookup (the paper's machine has 16 entries; latency scaling and
-// high thread counts grow the file into the hundreds).
-const smallMSHRFile = 32
 
 // Config returns the configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Bus exposes the bus for utilization reporting.
-func (s *System) Bus() *bus.Bus { return s.bus }
+// Bus exposes the L1's downstream bus for utilization reporting.
+func (s *System) Bus() *bus.Bus { return s.l1.bus }
 
 // Cache exposes the L1 tag array (for tests and reports).
-func (s *System) Cache() *cache.Cache { return s.l1 }
+func (s *System) Cache() *cache.Cache { return s.l1.tags }
 
-// Stats returns a snapshot of the counters.
-func (s *System) Stats() Stats { return s.stats }
+// LevelCache exposes shared level i's tag array (for tests and reports).
+func (s *System) LevelCache(i int) *cache.Cache { return s.levels[i].tags }
 
-// MSHRsInUse returns the number of occupied MSHRs.
-func (s *System) MSHRsInUse() int { return s.mshrsInUse }
+// LevelBus exposes shared level i's downstream bus (the memory bus, for
+// the last level).
+func (s *System) LevelBus(i int) *bus.Bus { return s.levels[i].bus }
+
+// Stats returns a snapshot of the L1 counters.
+func (s *System) Stats() Stats {
+	st := s.stats
+	st.Fills = s.l1Stats.Fills
+	st.Writebacks = s.l1Stats.Writebacks
+	return st
+}
+
+// LevelStats returns per-shared-level counters with downstream-bus
+// utilization computed over the measurement window ending at cycle end
+// (nil for the default flat model, keeping report encodings unchanged).
+func (s *System) LevelStats(end, window int64) []LevelStats {
+	if len(s.levels) == 0 {
+		return nil
+	}
+	out := make([]LevelStats, len(s.levels))
+	for i, l := range s.levels {
+		ls := *l.lstats
+		ls.BusUtilization = l.bus.Utilization(end, window)
+		out[i] = ls
+	}
+	return out
+}
+
+// MSHRsInUse returns the number of occupied L1 MSHRs.
+func (s *System) MSHRsInUse() int { return s.l1.mshrsInUse }
+
+// SetFillScheduler registers fn to be called with every future fill
+// cycle a shared level books. The core registers its event calendar
+// here, so fast-forwarding never skips the cycle at which a shared
+// cache installs a line (and its dirty victim, if any, books memory-bus
+// time) — the invariant the stepped/fast equivalence suite relies on.
+// The default flat model books no internal fills; fn is never called
+// there. The L1's own fill times travel back through access Results and
+// are scheduled by the core directly.
+func (s *System) SetFillScheduler(fn func(at int64)) {
+	for _, l := range s.levels {
+		l.sched = fn
+	}
+}
 
 // BeginCycle advances the subsystem to the given cycle: it releases the
-// access ports and completes any refills whose data has arrived,
-// installing lines in L1 (write-backs of dirty victims reserve bus
-// bandwidth) and freeing their MSHRs. It returns the number of lines
-// installed, which is zero on quiescent cycles.
+// access ports and completes any refills whose data has arrived — bottom
+// level first, so a line installs below before (hypothetically) being
+// requested from above in the same cycle — installing lines (write-backs
+// of dirty victims reserve bus bandwidth) and freeing MSHRs. It returns
+// the number of lines installed anywhere, which is zero on quiescent
+// cycles.
 func (s *System) BeginCycle(now int64) int {
 	s.now = now
 	s.portsUsed = 0
 	filled := 0
-	for {
-		i, ok := s.fillq.Peek()
-		if !ok {
-			break
-		}
-		e := &s.mshrs[i]
-		if e.fill > now {
-			break // FIFO in fill order: nothing behind is due either
-		}
-		victim := s.l1.Fill(e.line)
-		if e.dirty {
-			s.l1.SetDirty(e.line)
-		}
-		s.stats.Fills++
-		filled++
-		if victim.Valid && victim.Dirty {
-			// The write-back occupies the data bus for one line transfer.
-			s.bus.Reserve(now, s.bus.TransferCycles(s.cfg.L1.LineBytes))
-			s.stats.Writebacks++
-		}
-		e.valid = false
-		s.mshrsInUse--
-		if s.lineIdx != nil {
-			delete(s.lineIdx, e.line)
-		}
-		s.freeIdx = append(s.freeIdx, i)
-		s.fillq.Drop()
+	for i := len(s.levels) - 1; i >= 0; i-- {
+		filled += s.levels[i].beginCycle(now)
 	}
+	filled += s.l1.beginCycle(now)
 	return filled
-}
-
-// findMSHR returns the pending entry for line, if any. Small files walk
-// the fill FIFO, which holds exactly the occupied entries (usually a
-// handful); large files use the line index.
-func (s *System) findMSHR(line uint64) *mshr {
-	if s.lineIdx != nil {
-		if i, ok := s.lineIdx[line]; ok {
-			return &s.mshrs[i]
-		}
-		return nil
-	}
-	var found *mshr
-	s.fillq.Scan(func(i int) bool {
-		if e := &s.mshrs[i]; e.line == line {
-			found = e
-			return false
-		}
-		return true
-	})
-	return found
 }
 
 // access implements the shared load/store path. isStore selects
@@ -284,18 +316,19 @@ func (s *System) access(addr uint64, isStore bool) Result {
 		s.stats.PortRejects++
 		return Result{Stall: StallPort}
 	}
-	line := s.l1.LineAddr(addr)
-	if s.l1.Lookup(addr) {
+	l1 := s.l1
+	line := l1.tags.LineAddr(addr)
+	if l1.tags.Lookup(addr) {
 		s.portsUsed++
 		s.count(isStore, false)
 		if isStore {
-			s.l1.SetDirty(addr)
+			l1.tags.SetDirty(addr)
 		}
 		return Result{OK: true, ReadyAt: s.now + s.cfg.HitLatency}
 	}
 	// Miss. Merge into a pending MSHR if one covers the line: a delayed
-	// hit (no new L2 traffic), but the data still arrives at fill time.
-	if e := s.findMSHR(line); e != nil {
+	// hit (no new traffic below), but the data still arrives at fill time.
+	if e := l1.findMSHR(line); e != nil {
 		s.portsUsed++
 		s.count(isStore, false)
 		s.stats.SecondaryMisses++
@@ -304,31 +337,27 @@ func (s *System) access(addr uint64, isStore bool) Result {
 		}
 		return Result{OK: true, ReadyAt: e.fill, Miss: true}
 	}
-	if len(s.freeIdx) == 0 {
+	if len(l1.freeIdx) == 0 {
 		s.stats.MSHRRejects++
 		return Result{Stall: StallMSHR}
 	}
-	idx := s.freeIdx[len(s.freeIdx)-1]
-	s.freeIdx = s.freeIdx[:len(s.freeIdx)-1]
-	e := &s.mshrs[idx]
+	// Tag probe (hit latency), one cycle for the request on the address/
+	// command channel, then the level below serves the line, which
+	// returns over the 16-byte data bus (the contended resource;
+	// requests ride a separate command channel in this split-transaction
+	// interface, so accesses below from different MSHRs overlap).
+	reqDone := s.now + s.cfg.HitLatency + 1
+	avail, ok := l1.next.fetch(line, reqDone)
+	if !ok {
+		// A shared level below is out of MSHRs: nothing was modified at
+		// any level; retry like an L1 MSHR conflict.
+		s.stats.LowerRejects++
+		return Result{Stall: StallLowerMSHR}
+	}
 	s.portsUsed++
 	s.count(isStore, true)
-	// Tag probe (hit latency), one cycle for the request on the address/
-	// command channel, the L2 access, then the line returns over the
-	// 16-byte data bus (the contended resource; requests ride a separate
-	// command channel in this split-transaction interface, so L2 accesses
-	// from different MSHRs overlap).
-	reqDone := s.now + s.cfg.HitLatency + 1
-	l2Done := reqDone + s.cfg.L2Latency
-	fill := s.bus.Reserve(l2Done, s.bus.TransferCycles(s.cfg.L1.LineBytes))
-	*e = mshr{line: line, fill: fill, dirty: isStore, valid: true}
-	if s.lineIdx != nil {
-		s.lineIdx[line] = idx
-	}
-	s.mshrsInUse++
-	if !s.fillq.Push(idx) {
-		panic("mem: fill queue full despite a free MSHR")
-	}
+	fill := l1.bus.Reserve(avail, l1.bus.TransferCycles(s.cfg.L1.LineBytes))
+	l1.alloc(line, fill, isStore)
 	return Result{OK: true, ReadyAt: fill, Miss: true}
 }
 
@@ -360,9 +389,14 @@ func (s *System) StoreCommit(addr uint64) Result {
 	return s.access(addr, true)
 }
 
-// ResetStats clears counters and bus accounting (used to exclude warm-up
-// from measurements). Cache and MSHR state are preserved.
+// ResetStats clears counters and bus accounting at every level (used to
+// exclude warm-up from measurements). Cache and MSHR state are preserved.
 func (s *System) ResetStats() {
 	s.stats = Stats{}
-	s.bus.Reset()
+	s.l1Stats = LevelStats{}
+	s.l1.bus.Reset()
+	for i, l := range s.levels {
+		s.levelStats[i] = LevelStats{Name: s.levelStats[i].Name}
+		l.bus.Reset()
+	}
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"repro/internal/config"
@@ -12,8 +13,8 @@ import (
 // The golden equivalence suite: the fast-forward scheduler must produce
 // results bit-identical to cycle-by-cycle stepping — same cycle counts,
 // same IPC, same (float) waste buckets, same memory counters — for every
-// machine the paper's figures sweep. Reports are compared with ==, which
-// for float fields is exact bit equality.
+// machine the paper's figures sweep. Reports are compared field by field
+// with reflect.DeepEqual, which for float fields is exact bit equality.
 
 // shortBudget mirrors experiments.ShortBudget per thread.
 const (
@@ -60,7 +61,10 @@ func runBoth(t *testing.T, name string, opts Options, sources func() []trace.Rea
 	if err != nil {
 		t.Fatalf("%s: fast run: %v", name, err)
 	}
-	if fast != stepped {
+	// DeepEqual, not ==: Report carries a per-level slice for hierarchy
+	// machines. Float fields still compare exactly (DeepEqual uses ==
+	// element-wise), so this remains a bit-identity check.
+	if !reflect.DeepEqual(fast, stepped) {
 		t.Errorf("%s: fast-forward diverged from stepping\nstepped: %+v\nfast:    %+v", name, stepped, fast)
 	}
 	return fast
@@ -110,6 +114,30 @@ func TestEquivalenceFigureConfigs(t *testing.T) {
 	// still be exact.
 	cases = append(cases,
 		cfg{name: "far-window", machine: config.Figure2(2).WithL2Latency(6000), threads: 2},
+	)
+	// Finite shared hierarchies: shared-level fills (and their dirty
+	// victims' memory-bus bookings) happen at internally-scheduled
+	// cycles the fast-forward path must not skip — the fill-scheduler
+	// calendar hookup under test. Small L2s force evictions and
+	// write-back chains; the tiny-MSHR case exercises StallLowerMSHR
+	// retries; the two-level case exercises composition; the far-DRAM
+	// case pushes hierarchy fills through the calendar's overflow heap.
+	cases = append(cases,
+		cfg{name: "hier/l2-small", machine: config.Figure2(4).WithHierarchy(64, config.SharedL2(64<<10, 1)), threads: 4},
+		cfg{name: "hier/l2-roomy", machine: config.Figure2(2).WithHierarchy(64, config.SharedL2(1<<20, 8)), threads: 2},
+		cfg{name: "hier/l2-tiny-mshrs", machine: func() config.Machine {
+			l2 := config.SharedL2(128<<10, 2)
+			l2.MSHRs = 2
+			return config.Figure2(4).WithHierarchy(100, l2)
+		}(), threads: 4},
+		cfg{name: "hier/two-level", machine: func() config.Machine {
+			l3 := config.SharedL2(512<<10, 8)
+			l3.Name = "L3"
+			l3.HitLatency = 30
+			l3.BusBytesPerCycle = 8
+			return config.Figure2(3).WithHierarchy(120, config.SharedL2(64<<10, 2), l3)
+		}(), threads: 3},
+		cfg{name: "hier/far-dram", machine: config.Figure2(2).WithHierarchy(6000, config.SharedL2(64<<10, 1)), threads: 2},
 	)
 
 	for _, c := range cases {

@@ -179,6 +179,7 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 		Threads:        c.Config().Threads,
 		Decoupled:      c.Config().Decoupled,
 		L2Latency:      c.Config().Mem.L2Latency,
+		MemLevels:      c.Mem().LevelStats(c.Now(), col.Cycles),
 	}
 	return Result{Report: rep, Completed: completed, TotalCycles: c.Now()}, nil
 }

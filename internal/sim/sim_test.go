@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -313,7 +314,7 @@ func TestRunStreamsProgressSnapshots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plain != res {
+	if !reflect.DeepEqual(plain, res) {
 		t.Fatal("enabling progress snapshots changed the result")
 	}
 }

@@ -176,13 +176,18 @@ func (c *Collector) Perceived() LatencySample {
 type Report struct {
 	Collector
 	Mem mem.Stats
-	// BusUtilization is the fraction of measured cycles the L1↔L2 bus was
-	// busy.
+	// BusUtilization is the fraction of measured cycles the L1's
+	// downstream bus was busy.
 	BusUtilization float64
 	// Threads and L2Latency identify the configuration for table output.
 	Threads   int
 	Decoupled bool
 	L2Latency int64
+	// MemLevels reports the shared cache levels of a finite hierarchy
+	// (per-level counters and downstream-bus utilization, top-down from
+	// the L2). Nil for the default flat-L2 model — and omitted from the
+	// JSON encoding, so default-model report hashes are unchanged.
+	MemLevels []mem.LevelStats `json:",omitempty"`
 }
 
 // String renders a human-readable multi-line summary.
@@ -192,8 +197,12 @@ func (r Report) String() string {
 	if !r.Decoupled {
 		mode = "non-decoupled"
 	}
-	fmt.Fprintf(&b, "threads=%d mode=%s L2=%d cycles=%d insts=%d IPC=%.3f\n",
-		r.Threads, mode, r.L2Latency, r.Cycles, r.Graduated, r.IPC())
+	memDesc := fmt.Sprintf("L2=%d", r.L2Latency)
+	if len(r.MemLevels) > 0 {
+		memDesc = "mem=hierarchy"
+	}
+	fmt.Fprintf(&b, "threads=%d mode=%s %s cycles=%d insts=%d IPC=%.3f\n",
+		r.Threads, mode, memDesc, r.Cycles, r.Graduated, r.IPC())
 	fmt.Fprintf(&b, "perceived load-miss latency: fp=%.2f (n=%d) int=%.2f (n=%d) all=%.2f\n",
 		r.PerceivedFP.Mean(), r.PerceivedFP.Count,
 		r.PerceivedInt.Mean(), r.PerceivedInt.Count,
@@ -201,6 +210,10 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "branches: %d mispredict=%.2f%%\n", r.Branches, 100*r.MispredictRate())
 	fmt.Fprintf(&b, "L1: load-miss=%.2f%% store-miss=%.2f%% writebacks=%d bus-util=%.1f%%\n",
 		100*r.Mem.LoadMissRatio(), 100*r.Mem.StoreMissRatio(), r.Mem.Writebacks, 100*r.BusUtilization)
+	for _, lv := range r.MemLevels {
+		fmt.Fprintf(&b, "%s: miss=%.2f%% secondary=%d write-allocs=%d writebacks=%d bus-util=%.1f%%\n",
+			lv.Name, 100*lv.MissRatio(), lv.SecondaryMisses, lv.WriteAllocates, lv.Writebacks, 100*lv.BusUtilization)
+	}
 	for u := 0; u < isa.NumUnits; u++ {
 		s := r.Slots[u]
 		fmt.Fprintf(&b, "%s slots: useful=%.1f%% mem=%.1f%% fu=%.1f%% other=%.1f%% idle=%.1f%%\n",

@@ -113,6 +113,16 @@ func (r Request) Normalized() Request {
 	if r.Budget.MeasureInsts == 0 {
 		r.Budget.MeasureInsts = DefaultMeasure
 	}
+	// Memory-hierarchy canonicalization: an empty-but-non-nil Hierarchy
+	// (a JSON "Hierarchy":[] round-trip) is the default flat model, and
+	// under a real hierarchy the flat L2 latency is meaningless — zero
+	// it so a Figure2-derived machine with levels attached by hand
+	// hashes identically to one built with Machine.WithHierarchy.
+	if len(r.Machine.Mem.Hierarchy) == 0 {
+		r.Machine.Mem.Hierarchy = nil
+	} else {
+		r.Machine.Mem.L2Latency = 0
+	}
 	return r
 }
 
@@ -223,6 +233,9 @@ func (r Request) label() string {
 		if r.Workload.Custom != nil && r.Workload.Custom.Name != "" {
 			what = r.Workload.Custom.Name
 		}
+	}
+	if h := r.Machine.Mem.Hierarchy; len(h) > 0 {
+		return fmt.Sprintf("%s threads=%d l2size=%d", what, r.Machine.Threads, h[0].Cache.SizeBytes)
 	}
 	return fmt.Sprintf("%s threads=%d L2=%d", what, r.Machine.Threads, r.Machine.Mem.L2Latency)
 }

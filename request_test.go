@@ -139,6 +139,93 @@ func TestDeprecatedWrappersValidateUpFront(t *testing.T) {
 	}
 }
 
+// TestRequestHashesPinned pins the content hashes of representative
+// mix/bench requests to their values from before the memory-hierarchy
+// refactor (PR 4 tree). If any of these move, every existing on-disk
+// cache entry and golden hashfile silently stops matching — new Machine
+// fields must marshal to nothing at their defaults (omitempty +
+// normalization) precisely so this test keeps passing.
+func TestRequestHashesPinned(t *testing.T) {
+	pinned := []struct {
+		name string
+		req  Request
+		hash string
+	}{
+		{"mix t=1", MixRequest(Figure2(1), RunOpts{}),
+			"d37cb27686f513a943a88325b94fc9ef35cedad83d89e78509cf590b288f8c99"},
+		{"mix t=2", MixRequest(Figure2(2), RunOpts{}),
+			"10e4ec7487a2baf5903960bb71dd0dd58a337a04f3bb608e165b43c3131f8264"},
+		{"mix t=4", MixRequest(Figure2(4), RunOpts{}),
+			"b77110730512b6dbacb4b1654998ce4eac19f32c20469c035ccdf045cde8bbad"},
+		{"mix t=8", MixRequest(Figure2(8), RunOpts{}),
+			"7d9a3f0a21458333550909136e835da7ea627bfd6dbc13814bbc7fa97a494f4f"},
+		{"bench swim", BenchmarkRequest("swim", Section2().WithL2Latency(64), RunOpts{MeasureInsts: 1_000_000}),
+			"3dc76f7a88651c9d8941af6b3c11a5f4090ee18f8f42e970501e13ae47fd8df6"},
+		{"bench tomcatv", BenchmarkRequest("tomcatv", Section2().WithL2Latency(64), RunOpts{MeasureInsts: 1_000_000}),
+			"567bdafa56cbf2625ab018eec7931469326d30e76fb9e0683167f159f085b2f4"},
+		{"bench fpppp", BenchmarkRequest("fpppp", Section2().WithL2Latency(64), RunOpts{MeasureInsts: 1_000_000}),
+			"05ce630b1b6e81f766ee3a7ac99bdfc3227866c4dcb854aa396a5d898973dc19"},
+		{"mix nondecoupled", MixRequest(Figure2(4).WithL2Latency(256).NonDecoupled(),
+			RunOpts{WarmupInsts: 2000, MeasureInsts: 8000, Seed: 7}),
+			"7bd9dd8b54d451ae39c4a2e39aafa3918dfba21128abf1a6d02e660b1c356bd1"},
+	}
+	for _, p := range pinned {
+		if got := p.req.Hash(); got != p.hash {
+			t.Errorf("%s: hash %s, want pinned %s (cache schema broken)", p.name, got, p.hash)
+		}
+	}
+}
+
+// TestRequestHierarchyNormalization: hierarchy requests canonicalize —
+// the unused flat L2 latency is zeroed so hand-assembled and
+// WithHierarchy-built machines share a hash — and an empty Hierarchy
+// stays the default model with its default hash.
+func TestRequestHierarchyNormalization(t *testing.T) {
+	flat := MixRequest(Figure2(2), RunOpts{})
+
+	byHand := flat
+	byHand.Machine.Mem.Hierarchy = []LevelSpec{SharedL2(512<<10, 8)}
+	byHand.Machine.Mem.DRAMLatency = 64 // leaves L2Latency=16 stale
+
+	built := MixRequest(Figure2(2).WithHierarchy(64, SharedL2(512<<10, 8)), RunOpts{})
+	if byHand.Hash() != built.Hash() {
+		t.Error("hand-assembled hierarchy request hashes apart from WithHierarchy")
+	}
+	if byHand.Hash() == flat.Hash() {
+		t.Error("hierarchy request shares the flat model's hash")
+	}
+	if err := byHand.Validate(); err != nil {
+		t.Errorf("normalizable hierarchy request rejected: %v", err)
+	}
+
+	// JSON "Hierarchy":[] round-trips back to the default model.
+	empty := flat
+	empty.Machine.Mem.Hierarchy = []LevelSpec{}
+	if empty.Hash() != flat.Hash() {
+		t.Error("empty non-nil hierarchy changed the default hash")
+	}
+
+	// The hierarchy request round-trips through JSON with its hash.
+	raw, err := json.Marshal(built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Request
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != built.Hash() {
+		t.Error("hierarchy request hash not preserved across JSON round trip")
+	}
+
+	// Stray DRAM latency without levels is rejected, not silently hashed.
+	stray := flat
+	stray.Machine.Mem.DRAMLatency = 64
+	if err := stray.Validate(); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("DRAM latency without hierarchy: %v, want ErrInvalidConfig", err)
+	}
+}
+
 func TestRequestLabelDerivation(t *testing.T) {
 	req := BenchmarkRequest("swim", Figure2(2).WithL2Latency(64), RunOpts{})
 	if got := req.label(); !strings.Contains(got, "swim") || !strings.Contains(got, "threads=2") {
