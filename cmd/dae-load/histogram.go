@@ -1,0 +1,132 @@
+package main
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// histogram is an HDR-style log-linear latency histogram: values bucket
+// into 32 linear sub-buckets per power-of-two octave, so relative
+// quantization error stays under ~3% across the full range (1µs to
+// days) with a few hundred buckets at most — constant memory however
+// long the tail. Values are recorded in microseconds. Safe for
+// concurrent use.
+type histogram struct {
+	mu     sync.Mutex
+	counts map[int]int64
+	total  int64
+	sum    int64
+	max    int64
+}
+
+// log2SubBuckets fixes 2^5 = 32 linear sub-buckets per octave.
+const log2SubBuckets = 5
+
+func newHistogram() *histogram {
+	return &histogram{counts: make(map[int]int64)}
+}
+
+// record adds one latency observation in microseconds.
+func (h *histogram) record(us int64) {
+	if us < 0 {
+		us = 0
+	}
+	h.mu.Lock()
+	h.counts[bucketIndex(us)]++
+	h.total++
+	h.sum += us
+	if us > h.max {
+		h.max = us
+	}
+	h.mu.Unlock()
+}
+
+// bucketIndex maps a value to its log-linear bucket: exact below 32,
+// then 32 sub-buckets per octave.
+func bucketIndex(us int64) int {
+	v := uint64(us)
+	if v < 1<<log2SubBuckets {
+		return int(v)
+	}
+	m := bits.Len64(v) - 1
+	shift := m - log2SubBuckets
+	return int(uint64(shift)<<log2SubBuckets) + int(v>>shift)
+}
+
+// bucketUpper is the largest value mapping into bucket idx.
+func bucketUpper(idx int) int64 {
+	if idx < 1<<log2SubBuckets {
+		return int64(idx)
+	}
+	shift := idx>>log2SubBuckets - 1
+	sub := idx - shift<<log2SubBuckets
+	return int64(sub+1)<<shift - 1
+}
+
+// bucket is one non-empty histogram cell in the JSON report.
+type bucket struct {
+	// UpperUs is the bucket's inclusive upper bound in microseconds.
+	UpperUs int64 `json:"upperUs"`
+	Count   int64 `json:"count"`
+}
+
+// latencySummary is the report-facing digest of a histogram.
+type latencySummary struct {
+	Count  int64   `json:"count"`
+	MeanUs int64   `json:"meanUs"`
+	P50Us  int64   `json:"p50Us"`
+	P90Us  int64   `json:"p90Us"`
+	P99Us  int64   `json:"p99Us"`
+	MaxUs  int64   `json:"maxUs"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	// Histogram lists the non-empty buckets in ascending order, enough
+	// to recompute any percentile offline.
+	Histogram []bucket `json:"histogram,omitempty"`
+}
+
+// summarize digests the histogram. Percentiles report their bucket's
+// upper bound (pessimistic by at most one sub-bucket width).
+func (h *histogram) summarize() latencySummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := latencySummary{Count: h.total, MaxUs: h.max}
+	if h.total == 0 {
+		return s
+	}
+	s.MeanUs = h.sum / h.total
+	idxs := make([]int, 0, len(h.counts))
+	for idx := range h.counts {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	s.Histogram = make([]bucket, 0, len(idxs))
+	for _, idx := range idxs {
+		s.Histogram = append(s.Histogram, bucket{UpperUs: bucketUpper(idx), Count: h.counts[idx]})
+	}
+	s.P50Us = h.percentileLocked(idxs, 50)
+	s.P90Us = h.percentileLocked(idxs, 90)
+	s.P99Us = h.percentileLocked(idxs, 99)
+	s.MeanMs = float64(s.MeanUs) / 1000
+	s.P50Ms = float64(s.P50Us) / 1000
+	s.P99Ms = float64(s.P99Us) / 1000
+	return s
+}
+
+// percentileLocked returns the pth percentile's bucket upper bound.
+func (h *histogram) percentileLocked(sortedIdxs []int, p int) int64 {
+	need := (h.total*int64(p) + 99) / 100
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for _, idx := range sortedIdxs {
+		cum += h.counts[idx]
+		if cum >= need {
+			return bucketUpper(idx)
+		}
+	}
+	return h.max
+}

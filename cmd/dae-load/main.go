@@ -1,0 +1,491 @@
+// Command dae-load is the fabric's deterministic load-generator
+// harness: it drives a dae-router (or a bare dae-serve) with a seeded,
+// reproducible mix of cached runs, fresh runs, and sweeps, measures
+// per-class latency into HDR-style histograms, and emits a JSON report.
+// With -slo it doubles as a gate: the process exits nonzero when the
+// measured numbers violate the thresholds in an SLO file, which is how
+// CI fails the build on a latency or error-rate regression.
+//
+// Examples:
+//
+//	dae-load -target http://127.0.0.1:8180 -requests 200 -mode closed -concurrency 8
+//	dae-load -target http://127.0.0.1:8180 -mode open -rate 50 -requests 100 \
+//	  -mix cached=0.8,fresh=0.1,sweep=0.1 -out load.json -slo SLO.json
+//
+// Determinism: the request schedule — class sequence, which cached
+// request each draw hits, fresh-request seeds, sweep compositions — is
+// fully determined by -seed. Two runs with the same flags issue the
+// same requests in the same order; only the measured latencies differ.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	daesim "repro"
+	"repro/internal/serveapi"
+)
+
+// classes of generated traffic.
+const (
+	classCached = "cached" // a pre-warmed run: must hit the store
+	classFresh  = "fresh"  // a never-seen run: must simulate
+	classSweep  = "sweep"  // a batch mixing warm and fresh points
+)
+
+// loadConfig is the full harness configuration (the parsed flags).
+type loadConfig struct {
+	Target      string  `json:"target"`
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	RateHz      float64 `json:"rateHz"`
+	Seed        int64   `json:"seed"`
+	WarmPool    int     `json:"warmPool"`
+	SweepSize   int     `json:"sweepSize"`
+	MixCached   float64 `json:"mixCached"`
+	MixFresh    float64 `json:"mixFresh"`
+	MixSweep    float64 `json:"mixSweep"`
+	Warmup      int64   `json:"warmupInsts"`
+	Measure     int64   `json:"measureInsts"`
+	Timeout     time.Duration
+}
+
+// classStats accumulates one traffic class's outcomes.
+type classStats struct {
+	hist      *histogram
+	mu        sync.Mutex
+	requests  int
+	errors    int
+	shed      int
+	cacheHits int
+	firstErr  string
+}
+
+func (c *classStats) fail(msg string) {
+	c.mu.Lock()
+	c.errors++
+	if c.firstErr == "" {
+		c.firstErr = msg
+	}
+	c.mu.Unlock()
+}
+
+// classReport is one class's slice of the JSON report.
+type classReport struct {
+	Requests int `json:"requests"`
+	// Errors are hard failures (transport errors, 5xx, malformed
+	// replies). Backpressure refusals (429/503 + Retry-After) count as
+	// Shed, not Errors: the fabric refusing load it cannot absorb is the
+	// admission queue working, not the fabric breaking.
+	Errors    int            `json:"errors"`
+	Shed      int            `json:"shed"`
+	CacheHits int            `json:"cacheHits"`
+	ErrorRate float64        `json:"errorRate"`
+	FirstErr  string         `json:"firstError,omitempty"`
+	Latency   latencySummary `json:"latency"`
+}
+
+// loadReport is the harness's JSON output.
+type loadReport struct {
+	Config      loadConfig             `json:"config"`
+	DurationSec float64                `json:"durationSec"`
+	Throughput  float64                `json:"throughputRps"`
+	Classes     map[string]classReport `json:"classes"`
+	SLO         *sloResult             `json:"slo,omitempty"`
+}
+
+// sloThresholds is the committed SLO file's shape (SLO.json).
+type sloThresholds struct {
+	// CachedRunP99Ms caps the cached-run class's p99 latency.
+	CachedRunP99Ms float64 `json:"cachedRunP99Ms"`
+	// FreshRunMaxErrorRate caps the fresh-run class's hard-error rate
+	// (shed requests excluded).
+	FreshRunMaxErrorRate float64 `json:"freshRunMaxErrorRate"`
+}
+
+// sloResult records the gate's verdict inside the report.
+type sloResult struct {
+	Thresholds sloThresholds `json:"thresholds"`
+	Violations []string      `json:"violations,omitempty"`
+	Pass       bool          `json:"pass"`
+}
+
+func main() {
+	var (
+		target      = flag.String("target", "", "base URL of the dae-router (or dae-serve) to load (required)")
+		mode        = flag.String("mode", "closed", "loop mode: closed (fixed concurrency) or open (fixed arrival rate)")
+		requests    = flag.Int("requests", 100, "total requests to issue")
+		concurrency = flag.Int("concurrency", 4, "closed-loop worker count")
+		rate        = flag.Float64("rate", 20, "open-loop arrival rate (requests/s)")
+		seed        = flag.Int64("seed", 1, "schedule seed (same seed = same request sequence)")
+		warmPool    = flag.Int("warm-pool", 8, "distinct requests pre-warmed for the cached class")
+		sweepSize   = flag.Int("sweep-size", 4, "requests per generated sweep")
+		mix         = flag.String("mix", "cached=0.7,fresh=0.2,sweep=0.1", "traffic mix as class=weight pairs")
+		warmup      = flag.Int64("budget-warmup", 500, "simulation warmup instructions per request")
+		measure     = flag.Int64("budget-measure", 2000, "simulation measure instructions per request")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		out         = flag.String("out", "-", "JSON report path (\"-\" = stdout)")
+		sloPath     = flag.String("slo", "", "SLO thresholds file; violations exit nonzero")
+	)
+	flag.Parse()
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "dae-load: -target is required")
+		os.Exit(2)
+	}
+	cfg := loadConfig{
+		Target: strings.TrimRight(*target, "/"), Mode: *mode,
+		Requests: *requests, Concurrency: *concurrency, RateHz: *rate,
+		Seed: *seed, WarmPool: *warmPool, SweepSize: *sweepSize,
+		Warmup: *warmup, Measure: *measure, Timeout: *timeout,
+	}
+	var err error
+	if cfg.MixCached, cfg.MixFresh, cfg.MixSweep, err = parseMix(*mix); err != nil {
+		fmt.Fprintln(os.Stderr, "dae-load:", err)
+		os.Exit(2)
+	}
+
+	rep, err := run(context.Background(), cfg, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dae-load:", err)
+		os.Exit(1)
+	}
+
+	exit := 0
+	if *sloPath != "" {
+		res, err := checkSLO(*sloPath, rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dae-load:", err)
+			os.Exit(1)
+		}
+		rep.SLO = res
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "dae-load: SLO VIOLATION:", v)
+		}
+		if res.Pass {
+			fmt.Fprintln(os.Stderr, "dae-load: SLO gate passed")
+		} else {
+			exit = 1
+		}
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dae-load:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "dae-load:", err)
+		os.Exit(1)
+	}
+	os.Exit(exit)
+}
+
+// parseMix parses "cached=0.7,fresh=0.2,sweep=0.1" (weights are
+// normalized, so any positive scale works).
+func parseMix(s string) (cached, fresh, sweep float64, err error) {
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("bad -mix entry %q (want class=weight)", part)
+		}
+		w, perr := strconv.ParseFloat(v, 64)
+		if perr != nil || w < 0 {
+			return 0, 0, 0, fmt.Errorf("bad -mix weight %q", v)
+		}
+		switch k {
+		case classCached:
+			cached = w
+		case classFresh:
+			fresh = w
+		case classSweep:
+			sweep = w
+		default:
+			return 0, 0, 0, fmt.Errorf("unknown -mix class %q", k)
+		}
+	}
+	total := cached + fresh + sweep
+	if total <= 0 {
+		return 0, 0, 0, fmt.Errorf("-mix has no positive weight")
+	}
+	return cached / total, fresh / total, sweep / total, nil
+}
+
+// op is one planned request: a class tag and the pre-marshaled body.
+type op struct {
+	class string
+	path  string
+	body  []byte
+}
+
+// buildPlan deterministically expands the config into the warm pool and
+// the full request schedule.
+func buildPlan(cfg loadConfig) (warm []op, schedule []op, err error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reqAt := func(seed uint64) daesim.Request {
+		r := daesim.MixRequest(daesim.Figure2(1), daesim.RunOpts{
+			WarmupInsts: cfg.Warmup, MeasureInsts: cfg.Measure, Seed: seed})
+		r.Label = fmt.Sprintf("load-%d", seed)
+		return r
+	}
+	marshal := func(v any) []byte {
+		b, merr := json.Marshal(v)
+		if merr != nil && err == nil {
+			err = merr
+		}
+		return b
+	}
+	// Warm pool: seeds 1..W, POSTed once before measurement begins.
+	pool := make([]daesim.Request, cfg.WarmPool)
+	for i := range pool {
+		pool[i] = reqAt(uint64(i + 1))
+		warm = append(warm, op{class: classCached, path: "/v1/runs", body: marshal(pool[i])})
+	}
+	// Fresh seeds count up from far above the warm pool's range.
+	freshSeed := uint64(1_000_000)
+	nextFresh := func() daesim.Request {
+		freshSeed++
+		return reqAt(freshSeed)
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		switch x := rng.Float64(); {
+		case x < cfg.MixCached:
+			schedule = append(schedule, op{class: classCached, path: "/v1/runs",
+				body: marshal(pool[rng.Intn(len(pool))])})
+		case x < cfg.MixCached+cfg.MixFresh:
+			schedule = append(schedule, op{class: classFresh, path: "/v1/runs",
+				body: marshal(nextFresh())})
+		default:
+			sw := serveapi.SweepRequest{}
+			for j := 0; j < cfg.SweepSize; j++ {
+				if rng.Float64() < 0.5 {
+					sw.Requests = append(sw.Requests, pool[rng.Intn(len(pool))])
+				} else {
+					sw.Requests = append(sw.Requests, nextFresh())
+				}
+			}
+			schedule = append(schedule, op{class: classSweep, path: "/v1/sweeps",
+				body: marshal(sw)})
+		}
+	}
+	return warm, schedule, err
+}
+
+// run executes the plan and assembles the report.
+func run(ctx context.Context, cfg loadConfig, logw io.Writer) (*loadReport, error) {
+	warm, schedule, err := buildPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	// Warm phase (unmeasured): populate the store so the cached class
+	// actually measures the cached path.
+	fmt.Fprintf(logw, "dae-load: warming %d requests against %s\n", len(warm), cfg.Target)
+	for i, o := range warm {
+		if _, _, _, err := issue(ctx, client, cfg.Target, o); err != nil {
+			return nil, fmt.Errorf("warm request %d: %w", i, err)
+		}
+	}
+
+	stats := map[string]*classStats{
+		classCached: {hist: newHistogram()},
+		classFresh:  {hist: newHistogram()},
+		classSweep:  {hist: newHistogram()},
+	}
+	fmt.Fprintf(logw, "dae-load: %s loop, %d requests (mix cached=%.2f fresh=%.2f sweep=%.2f, seed %d)\n",
+		cfg.Mode, len(schedule), cfg.MixCached, cfg.MixFresh, cfg.MixSweep, cfg.Seed)
+
+	start := time.Now()
+	switch cfg.Mode {
+	case "closed":
+		ops := make(chan op)
+		var wg sync.WaitGroup
+		workers := cfg.Concurrency
+		if workers < 1 {
+			workers = 1
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for o := range ops {
+					measureOne(ctx, client, cfg.Target, o, stats[o.class])
+				}
+			}()
+		}
+		for _, o := range schedule {
+			ops <- o
+		}
+		close(ops)
+		wg.Wait()
+	case "open":
+		if cfg.RateHz <= 0 {
+			return nil, fmt.Errorf("open loop needs -rate > 0")
+		}
+		interval := time.Duration(float64(time.Second) / cfg.RateHz)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var wg sync.WaitGroup
+		for _, o := range schedule {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-ticker.C:
+			}
+			wg.Add(1)
+			go func(o op) {
+				defer wg.Done()
+				measureOne(ctx, client, cfg.Target, o, stats[o.class])
+			}(o)
+		}
+		wg.Wait()
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (want closed or open)", cfg.Mode)
+	}
+	elapsed := time.Since(start)
+
+	rep := &loadReport{
+		Config:      cfg,
+		DurationSec: elapsed.Seconds(),
+		Classes:     make(map[string]classReport),
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(len(schedule)) / elapsed.Seconds()
+	}
+	for class, cs := range stats {
+		cr := classReport{
+			Requests: cs.requests, Errors: cs.errors, Shed: cs.shed,
+			CacheHits: cs.cacheHits, FirstErr: cs.firstErr,
+			Latency: cs.hist.summarize(),
+		}
+		if cs.requests > 0 {
+			cr.ErrorRate = float64(cs.errors) / float64(cs.requests)
+		}
+		rep.Classes[class] = cr
+		fmt.Fprintf(logw, "dae-load: %-6s n=%-4d err=%-3d shed=%-3d hit=%-4d p50=%.1fms p99=%.1fms\n",
+			class, cr.Requests, cr.Errors, cr.Shed, cr.CacheHits,
+			cr.Latency.P50Ms, cr.Latency.P99Ms)
+	}
+	return rep, nil
+}
+
+// issue POSTs one op and classifies the outcome.
+func issue(ctx context.Context, client *http.Client, target string, o op) (status int, cached int, shed bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+o.path, bytes.NewReader(o.body))
+	if err != nil {
+		return 0, 0, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return resp.StatusCode, 0, false, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		if resp.Header.Get("Retry-After") != "" {
+			return resp.StatusCode, 0, true, nil
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, 0, false, fmt.Errorf("status %d: %.200s", resp.StatusCode, body)
+	}
+	switch o.path {
+	case "/v1/runs":
+		var rr serveapi.RunResponse
+		if err := json.Unmarshal(body, &rr); err != nil || rr.Report == nil {
+			return resp.StatusCode, 0, false, fmt.Errorf("malformed run response: %.200s", body)
+		}
+		if rr.Cached {
+			cached = 1
+		}
+	case "/v1/sweeps":
+		var sr serveapi.SweepResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			return resp.StatusCode, 0, false, fmt.Errorf("malformed sweep response: %.200s", body)
+		}
+		if sr.Failed > 0 {
+			return resp.StatusCode, 0, false, fmt.Errorf("sweep failed %d results", sr.Failed)
+		}
+		for _, r := range sr.Results {
+			if r.Cached {
+				cached++
+			}
+		}
+	}
+	return resp.StatusCode, cached, false, nil
+}
+
+// measureOne times one op into its class's stats.
+func measureOne(ctx context.Context, client *http.Client, target string, o op, cs *classStats) {
+	begin := time.Now()
+	_, cached, shed, err := issue(ctx, client, target, o)
+	lat := time.Since(begin)
+	cs.mu.Lock()
+	cs.requests++
+	cs.cacheHits += cached
+	if shed {
+		cs.shed++
+	}
+	cs.mu.Unlock()
+	switch {
+	case err != nil:
+		cs.fail(err.Error())
+	case !shed:
+		cs.hist.record(lat.Microseconds())
+	}
+}
+
+// checkSLO loads thresholds and grades the report against them.
+func checkSLO(path string, rep *loadReport) (*sloResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("slo file: %w", err)
+	}
+	var thr sloThresholds
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&thr); err != nil {
+		return nil, fmt.Errorf("slo file %s: %w", path, err)
+	}
+	res := &sloResult{Thresholds: thr}
+	cached := rep.Classes[classCached]
+	fresh := rep.Classes[classFresh]
+	if thr.CachedRunP99Ms > 0 {
+		if cached.Latency.Count == 0 {
+			res.Violations = append(res.Violations, "no cached-run samples to grade p99 against")
+		} else if cached.Latency.P99Ms > thr.CachedRunP99Ms {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"cached-run p99 %.1fms exceeds %.1fms", cached.Latency.P99Ms, thr.CachedRunP99Ms))
+		}
+	}
+	if fresh.Requests > 0 && fresh.ErrorRate > thr.FreshRunMaxErrorRate {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"fresh-run error rate %.3f exceeds %.3f (first error: %s)",
+			fresh.ErrorRate, thr.FreshRunMaxErrorRate, fresh.FirstErr))
+	}
+	res.Pass = len(res.Violations) == 0
+	return res, nil
+}

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	daesim "repro"
+	"repro/internal/fabric"
+	"repro/internal/serveapi"
+)
+
+// TestHistogramPercentiles: exact values at the linear bottom, bounded
+// relative error (one sub-bucket, ~3%) in the log-linear range.
+func TestHistogramPercentiles(t *testing.T) {
+	h := newHistogram()
+	// 1..100 µs: p50 = 50, p99 = 99, max = 100, all exact (< 2^5 is
+	// linear; above it buckets are narrow at this scale).
+	for v := int64(1); v <= 100; v++ {
+		h.record(v)
+	}
+	s := h.summarize()
+	if s.Count != 100 || s.MaxUs != 100 {
+		t.Fatalf("count=%d max=%d", s.Count, s.MaxUs)
+	}
+	if s.P50Us < 50 || s.P50Us > 52 {
+		t.Errorf("p50 = %d, want ~50", s.P50Us)
+	}
+	if s.P99Us < 99 || s.P99Us > 103 {
+		t.Errorf("p99 = %d, want ~99", s.P99Us)
+	}
+
+	// Far outliers past the p99 rank move p99 into their (coarse)
+	// bucket: upper bound must be >= the value and within ~3.2% above.
+	h2 := newHistogram()
+	for i := 0; i < 98; i++ {
+		h2.record(10)
+	}
+	h2.record(5_000_000) // two 5s outliers: ranks 99 and 100 of 100
+	h2.record(5_000_000)
+	s2 := h2.summarize()
+	if s2.P99Us < 5_000_000 || float64(s2.P99Us) > 5_000_000*1.04 {
+		t.Errorf("p99 = %d, want 5e6..5.2e6", s2.P99Us)
+	}
+	if s2.P50Us != 10 {
+		t.Errorf("p50 = %d, want 10", s2.P50Us)
+	}
+}
+
+// TestBucketIndexContinuity: the bucket mapping is monotone and every
+// value is <= its bucket's upper bound, with bounded relative width.
+func TestBucketIndexContinuity(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1<<40 + 12345} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Errorf("bucketIndex(%d) = %d < previous %d (not monotone)", v, idx, prev)
+		}
+		prev = idx
+		up := bucketUpper(idx)
+		if up < v {
+			t.Errorf("bucketUpper(%d) = %d < value %d", idx, up, v)
+		}
+		if v >= 32 && float64(up) > float64(v)*1.04 {
+			t.Errorf("bucket for %d too wide: upper %d", v, up)
+		}
+	}
+}
+
+// TestParseMix normalizes weights and rejects junk.
+func TestParseMix(t *testing.T) {
+	c, f, s, err := parseMix("cached=3,fresh=1,sweep=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0.75 || f != 0.25 || s != 0 {
+		t.Errorf("mix = %v %v %v", c, f, s)
+	}
+	for _, bad := range []string{"cached", "cached=x", "bogus=1", "cached=-1", "cached=0,fresh=0,sweep=0"} {
+		if _, _, _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestBuildPlanDeterministic: the same seed yields a byte-identical
+// schedule; a different seed does not.
+func TestBuildPlanDeterministic(t *testing.T) {
+	cfg := loadConfig{Requests: 50, Seed: 7, WarmPool: 4, SweepSize: 3,
+		MixCached: 0.6, MixFresh: 0.3, MixSweep: 0.1, Warmup: 500, Measure: 2000}
+	w1, s1, err := buildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, s2, _ := buildPlan(cfg)
+	if len(s1) != cfg.Requests || len(w1) != cfg.WarmPool {
+		t.Fatalf("plan sizes: warm=%d schedule=%d", len(w1), len(s1))
+	}
+	for i := range s1 {
+		if s1[i].class != s2[i].class || !bytes.Equal(s1[i].body, s2[i].body) {
+			t.Fatalf("schedule diverges at %d with identical seeds", i)
+		}
+	}
+	for i := range w1 {
+		if !bytes.Equal(w1[i].body, w2[i].body) {
+			t.Fatalf("warm pool diverges at %d", i)
+		}
+	}
+	cfg.Seed = 8
+	_, s3, _ := buildPlan(cfg)
+	same := true
+	for i := range s1 {
+		if s1[i].class != s3[i].class || !bytes.Equal(s1[i].body, s3[i].body) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// newTestFabric boots 2 replicas + router in-process and returns the
+// router's base URL.
+func newTestFabric(t *testing.T) string {
+	t.Helper()
+	storeDir := t.TempDir()
+	var bases []string
+	for i := 0; i < 2; i++ {
+		eng, err := daesim.NewEngine(daesim.EngineOpts{CacheDir: storeDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(serveapi.NewHandler(eng, 30*time.Second, serveapi.DefaultMaxBody))
+		t.Cleanup(ts.Close)
+		bases = append(bases, ts.URL)
+	}
+	rt, err := fabric.NewRouter(fabric.Config{Replicas: bases, StoreDir: storeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestLoadEndToEnd drives a real in-process fabric with both loop modes
+// and grades the report against a permissive SLO.
+func TestLoadEndToEnd(t *testing.T) {
+	target := newTestFabric(t)
+	cfg := loadConfig{
+		Target: target, Mode: "closed", Requests: 30, Concurrency: 4,
+		Seed: 1, WarmPool: 4, SweepSize: 3,
+		MixCached: 0.6, MixFresh: 0.3, MixSweep: 0.1,
+		Warmup: 500, Measure: 2000, Timeout: 60 * time.Second,
+	}
+	rep, err := run(context.Background(), cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for class, cr := range rep.Classes {
+		total += cr.Requests
+		if cr.Errors != 0 {
+			t.Errorf("%s: %d errors (first: %s)", class, cr.Errors, cr.FirstErr)
+		}
+	}
+	if total != cfg.Requests {
+		t.Errorf("measured %d requests, want %d", total, cfg.Requests)
+	}
+	cached := rep.Classes[classCached]
+	if cached.Requests == 0 || cached.CacheHits != cached.Requests {
+		t.Errorf("cached class: %d requests, %d hits — warm pool not warm",
+			cached.Requests, cached.CacheHits)
+	}
+	if cached.Latency.P99Us <= 0 {
+		t.Errorf("cached p99 = %d", cached.Latency.P99Us)
+	}
+
+	// SLO grading: a permissive SLO passes, an impossible one fails.
+	dir := t.TempDir()
+	writeSLO := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	res, err := checkSLO(writeSLO("ok.json", `{"cachedRunP99Ms": 60000, "freshRunMaxErrorRate": 0}`), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Errorf("permissive SLO failed: %v", res.Violations)
+	}
+	res, err = checkSLO(writeSLO("strict.json", `{"cachedRunP99Ms": 0.0001, "freshRunMaxErrorRate": 0}`), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Error("impossible SLO passed")
+	}
+
+	// Open loop over the now-warm store: fast and still error-free.
+	cfg.Mode, cfg.RateHz, cfg.Requests = "open", 200, 20
+	rep2, err := run(context.Background(), cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for class, cr := range rep2.Classes {
+		if cr.Errors != 0 {
+			t.Errorf("open loop %s: %d errors (first: %s)", class, cr.Errors, cr.FirstErr)
+		}
+	}
+}
+
+// TestLoadReportShape: the report round-trips through JSON with the
+// fields the CI summary script reads.
+func TestLoadReportShape(t *testing.T) {
+	target := newTestFabric(t)
+	cfg := loadConfig{
+		Target: target, Mode: "closed", Requests: 6, Concurrency: 2,
+		Seed: 3, WarmPool: 2, SweepSize: 2,
+		MixCached: 1, Warmup: 500, Measure: 2000, Timeout: 60 * time.Second,
+	}
+	rep, err := run(context.Background(), cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	classes, ok := decoded["classes"].(map[string]any)
+	if !ok {
+		t.Fatalf("no classes in %s", raw)
+	}
+	cc, ok := classes["cached"].(map[string]any)
+	if !ok {
+		t.Fatalf("no cached class in %s", raw)
+	}
+	lat, ok := cc["latency"].(map[string]any)
+	if !ok || lat["p99Ms"] == nil {
+		t.Fatalf("no latency.p99Ms in %s", raw)
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	daesim "repro"
+	"repro/internal/fabric"
+	"repro/internal/serveapi"
+)
+
+// TestRouterServeEndToEnd boots the real router loop (listener, fabric,
+// graceful shutdown) on a random port in front of two in-process
+// replicas sharing one store, and drives the full client surface: run,
+// cached run, sweep, events stream, health.
+func TestRouterServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e router test skipped in -short mode")
+	}
+	storeDir := t.TempDir()
+	var replicas []string
+	for i := 0; i < 2; i++ {
+		eng, err := daesim.NewEngine(daesim.EngineOpts{CacheDir: storeDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(serveapi.NewHandler(eng, 30*time.Second, serveapi.DefaultMaxBody))
+		t.Cleanup(ts.Close)
+		replicas = append(replicas, ts.URL)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, "127.0.0.1:0", fabric.Config{
+			Replicas: replicas,
+			StoreDir: storeDir,
+		}, io.Discard, func(a net.Addr) { ready <- a })
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr.String()
+	case <-time.After(5 * time.Second):
+		t.Fatal("router never became ready")
+	}
+
+	req := daesim.MixRequest(daesim.Figure2(1), daesim.RunOpts{WarmupInsts: 500, MeasureInsts: 2_000})
+	req.Label = "router-e2e"
+	raw, _ := json.Marshal(req)
+
+	// Fresh run through the fabric.
+	resp, err := http.Post(base+"/v1/runs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d: %s", resp.StatusCode, body)
+	}
+	var rr serveapi.RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Cached || rr.Report == nil {
+		t.Fatalf("first run: cached=%v report=%v", rr.Cached, rr.Report != nil)
+	}
+
+	// Again: now a store hit.
+	resp, err = http.Post(base+"/v1/runs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"cached": true`) {
+		t.Errorf("second run not cached: %s", body)
+	}
+
+	// Sweep with a fresh point.
+	req2 := daesim.MixRequest(daesim.Figure2(2), daesim.RunOpts{WarmupInsts: 500, MeasureInsts: 2_000})
+	sweepRaw, _ := json.Marshal(serveapi.SweepRequest{Requests: []daesim.Request{req, req2}})
+	resp, err = http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(sweepRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var sr serveapi.SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Failed != 0 || len(sr.Results) != 2 {
+		t.Fatalf("sweep: failed=%d results=%d: %s", sr.Failed, len(sr.Results), body)
+	}
+
+	// Events stream for the cached hash, proxied through the router.
+	resp, err = http.Get(base + "/v1/runs/" + rr.Hash + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Errorf("events Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(stream), "event: done") {
+		t.Errorf("no done event: %s", stream)
+	}
+
+	// Router health reports both replicas alive.
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var h fabric.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || len(h.Replicas) != 2 {
+		t.Errorf("health: %s", body)
+	}
+
+	// Graceful shutdown.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("router did not shut down")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	daesim "repro"
+	"repro/internal/serveapi"
 )
 
 // TestServeEndToEnd boots the real server loop (listener, engine, HTTP
@@ -96,7 +97,7 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 
 	// The engine behind the server confirms: one simulation.
-	var health healthResponse
+	var health serveapi.HealthResponse
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +110,7 @@ func TestServeEndToEnd(t *testing.T) {
 
 	// A second sweep over the same point plus a new one: the first is a
 	// cache hit, and the per-request results come back in order.
-	sweep := sweepRequest{Requests: []daesim.Request{
+	sweep := serveapi.SweepRequest{Requests: []daesim.Request{
 		req,
 		daesim.BenchmarkRequest("swim", daesim.Figure2(1), daesim.RunOpts{WarmupInsts: 500, MeasureInsts: 2_000}),
 	}}
@@ -118,7 +119,7 @@ func TestServeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sres sweepResponse
+	var sres serveapi.SweepResponse
 	json.NewDecoder(resp.Body).Decode(&sres)
 	resp.Body.Close()
 	if len(sres.Results) != 2 || sres.Failed != 0 {
@@ -126,6 +127,24 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	if !sres.Results[0].Cached {
 		t.Error("previously computed point not served from cache in the sweep")
+	}
+
+	// The events stream is reachable end-to-end: the computed hash yields
+	// an immediate SSE done event over the real server stack.
+	sresp, err := http.Get(base + "/v1/runs/" + req.Hash() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbody, err := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("events Content-Type %q", ct)
+	}
+	if !bytes.Contains(sbody, []byte("event: done")) || !bytes.Contains(sbody, []byte(req.Hash())) {
+		t.Errorf("events stream missing done event for the run: %q", sbody)
 	}
 
 	// Graceful shutdown: cancel the serve context and the loop returns

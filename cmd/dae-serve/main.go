@@ -4,10 +4,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/runs         execute one daesim.Request (JSON body)
-//	POST /v1/sweeps       execute {"requests": [...]}; per-result errors
-//	GET  /v1/runs/{hash}  serve a previously computed result by content hash
-//	GET  /healthz         liveness + engine cache statistics
+//	POST /v1/runs                execute one daesim.Request (JSON body)
+//	POST /v1/sweeps              execute {"requests": [...]}; per-result errors
+//	GET  /v1/runs/{hash}         serve a previously computed result by content hash
+//	GET  /v1/runs/{hash}/events  stream a run's progress (SSE; NDJSON via Accept)
+//	GET  /healthz                liveness + engine cache statistics
 //
 // Examples:
 //
@@ -19,7 +20,10 @@
 // A Request executed here produces a Report byte-identical to
 // `dae-sim -json` with the same parameters, and the cache directory is
 // interchangeable with dae-sweep's: a nightly sweep warms the cache the
-// service then serves from.
+// service then serves from. Pointing several replicas at one shared
+// cache directory turns it into the fabric's content-addressed result
+// store: any replica serves any hash, and cmd/dae-router consistent-hash
+// routes requests across the replicas (see DESIGN.md §8).
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 	"time"
 
 	daesim "repro"
+	"repro/internal/serveapi"
 )
 
 func main() {
@@ -44,13 +49,14 @@ func main() {
 		cacheDir = flag.String("cache", "", "on-disk result cache directory shared with dae-sweep/dae-sim (\"\" = in-memory only)")
 		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = all cores)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock cap per run/sweep request (0 = none)")
+		snapshot = flag.Int64("snapshot-every", 0, "progress-snapshot cadence in graduated instructions for /v1/runs/{hash}/events streams (0 = the simulator default)")
 		progress = flag.Bool("progress", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serve(ctx, *addr, daesim.EngineOpts{Workers: *workers, CacheDir: *cacheDir}, *timeout, *progress, os.Stderr, nil); err != nil {
+	if err := serve(ctx, *addr, daesim.EngineOpts{Workers: *workers, CacheDir: *cacheDir, SnapshotEvery: *snapshot}, *timeout, *progress, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "dae-serve:", err)
 		os.Exit(1)
 	}
@@ -93,7 +99,7 @@ func serve(ctx context.Context, addr string, opts daesim.EngineOpts, timeout tim
 		onReady(ln.Addr())
 	}
 	srv := &http.Server{
-		Handler:           newHandler(eng, timeout, defaultMaxBody),
+		Handler:           serveapi.NewHandler(eng, timeout, serveapi.DefaultMaxBody),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -61,6 +61,10 @@ type Progress struct {
 	Total  int   `json:"total,omitempty"`
 	Cached bool  `json:"cached,omitempty"`
 	Err    error `json:"-"`
+	// Error carries Err's message for serialized streams (dae-serve's
+	// /v1/runs/{hash}/events endpoint marshals Progress verbatim; error
+	// values themselves do not round-trip through JSON).
+	Error string `json:"error,omitempty"`
 	// Stats is the Engine's lifetime cache-stats snapshot (ProgressDone).
 	Stats Stats `json:"stats,omitzero"`
 }
@@ -104,6 +108,10 @@ func NewEngine(opts EngineOpts) (*Engine, error) {
 		CacheDir:      opts.CacheDir,
 		SnapshotEvery: opts.SnapshotEvery,
 		OnProgress: func(p runner.Progress) {
+			errMsg := ""
+			if p.Err != nil {
+				errMsg = p.Err.Error()
+			}
 			e.publish(Progress{
 				Event:  ProgressDone,
 				Label:  p.Job.Key,
@@ -112,6 +120,7 @@ func NewEngine(opts EngineOpts) (*Engine, error) {
 				Total:  p.Total,
 				Cached: p.Cached,
 				Err:    p.Err,
+				Error:  errMsg,
 				Stats:  e.Stats(),
 			})
 		},
@@ -242,6 +251,51 @@ func (e *Engine) Watch(buf int) (<-chan Progress, func()) {
 		}
 	}
 	return ch, stop
+}
+
+// WatchHash subscribes to one request's slice of the progress stream:
+// the returned channel relays only events whose Hash matches, and is
+// closed after relaying that request's ProgressDone event — the
+// subscription ends itself when the run does. This is the plumbing
+// behind dae-serve's GET /v1/runs/{hash}/events stream: one HTTP client
+// watches one run to completion without filtering the full firehose.
+//
+// Like Watch, events are dropped rather than allowed to slow the
+// simulation when the consumer lags (buf is the channel buffer, minimum
+// 16). The returned stop function unsubscribes early; it is safe to call
+// even after the channel has closed itself.
+func (e *Engine) WatchHash(hash string, buf int) (<-chan Progress, func()) {
+	if buf < 16 {
+		buf = 16
+	}
+	in, stopIn := e.Watch(buf)
+	out := make(chan Progress, buf)
+	stopped := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			stopIn() // closes in, ending the relay goroutine
+			close(stopped)
+		})
+	}
+	go func() {
+		defer close(out)
+		defer stop()
+		for p := range in {
+			if p.Hash != hash {
+				continue
+			}
+			select {
+			case out <- p:
+			case <-stopped:
+				return
+			}
+			if p.Event == ProgressDone {
+				return
+			}
+		}
+	}()
+	return out, stop
 }
 
 // publish fans an event out to every subscriber, dropping it for

@@ -247,6 +247,87 @@ deadline:
 	}
 }
 
+// TestEngineWatchHashFiltersAndSelfCloses covers the Watch-over-HTTP
+// plumbing: a WatchHash subscription sees only its own run's events and
+// the channel closes itself after that run's done event, while events
+// for other hashes never leak in.
+func TestEngineWatchHashFiltersAndSelfCloses(t *testing.T) {
+	eng := testEngine(t, EngineOpts{Workers: 2, SnapshotEvery: 1_000})
+	watched := MixRequest(Figure2(1), shortOpts())
+	other := MixRequest(Figure2(2), shortOpts())
+
+	events, stop := eng.WatchHash(watched.Hash(), 256)
+	defer stop()
+
+	// Run the other request first so its events are in the stream before
+	// the watched run's; none of them may come through.
+	if _, err := eng.Run(context.Background(), other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background(), watched); err != nil {
+		t.Fatal(err)
+	}
+
+	var snapshots, done int
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case p, ok := <-events:
+			if !ok {
+				if done != 1 {
+					t.Fatalf("channel closed after %d done events, want 1", done)
+				}
+				if snapshots == 0 {
+					t.Error("no snapshots relayed for the watched run")
+				}
+				// stop after self-close must be a harmless no-op.
+				stop()
+				return
+			}
+			if p.Hash != watched.Hash() {
+				t.Errorf("event for foreign hash %q leaked through the filter", p.Hash)
+			}
+			switch p.Event {
+			case ProgressSnapshot:
+				snapshots++
+			case ProgressDone:
+				done++
+				if p.Error != "" || p.Err != nil {
+					t.Errorf("successful run's done event carries error %q", p.Error)
+				}
+			}
+		case <-deadline:
+			t.Fatal("WatchHash channel never closed after the watched run finished")
+		}
+	}
+}
+
+// TestEngineWatchHashCacheHit: watching an already-cached hash yields a
+// single cached done event as soon as any Run for it completes.
+func TestEngineWatchHashCacheHit(t *testing.T) {
+	eng := testEngine(t, EngineOpts{Workers: 1})
+	req := MixRequest(Figure2(1), shortOpts())
+	if _, err := eng.Run(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	events, stop := eng.WatchHash(req.Hash(), 16)
+	defer stop()
+	if _, err := eng.Run(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-events:
+		if p.Event != ProgressDone || !p.Cached {
+			t.Errorf("got %+v, want a cached done event", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event for the cache hit")
+	}
+	if _, ok := <-events; ok {
+		t.Error("channel not closed after the done event")
+	}
+}
+
 func TestEngineCustomWorkloadsAreCacheable(t *testing.T) {
 	eng := testEngine(t, EngineOpts{Workers: 1})
 	b, err := BenchmarkByName("mgrid")

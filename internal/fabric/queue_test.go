@@ -1,0 +1,211 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueuePriorityOrder: with one slot busy, queued sweeps wait behind
+// a later-arriving run — priorities beat arrival order across classes,
+// FIFO holds within one.
+func TestQueuePriorityOrder(t *testing.T) {
+	q := NewQueue(1, 8)
+	release, err := q.Acquire(context.Background(), PriorityRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type grant struct {
+		who  string
+		prio Priority
+	}
+	grants := make(chan grant, 4)
+	var wg sync.WaitGroup
+	enqueue := func(who string, prio Priority) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := q.Acquire(context.Background(), prio)
+			if err != nil {
+				t.Errorf("%s: %v", who, err)
+				return
+			}
+			grants <- grant{who, prio}
+			rel()
+		}()
+	}
+	enqueue("sweep-1", PrioritySweep)
+	for {
+		if _, w := q.Depth(); w == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	enqueue("sweep-2", PrioritySweep)
+	for {
+		if _, w := q.Depth(); w == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	enqueue("run-1", PriorityRun)
+	for {
+		if _, w := q.Depth(); w == 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	release()
+	wg.Wait()
+	close(grants)
+	var order []string
+	for g := range grants {
+		order = append(order, g.who)
+	}
+	want := []string{"run-1", "sweep-1", "sweep-2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestQueueFullRefusesImmediately: past active+waiting capacity,
+// Acquire returns ErrQueueFull without blocking.
+func TestQueueFullRefusesImmediately(t *testing.T) {
+	q := NewQueue(1, 1)
+	rel, err := q.Acquire(context.Background(), PriorityRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// Fill the wait room.
+	go q.Acquire(context.Background(), PriorityRun)
+	for {
+		if _, w := q.Depth(); w == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if _, err := q.Acquire(context.Background(), PriorityRun); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("full queue did not refuse immediately")
+	}
+}
+
+// TestQueueDrainShedsWaiters: Drain resolves every queued waiter with
+// ErrDraining and refuses new arrivals, while held slots release
+// normally.
+func TestQueueDrainShedsWaiters(t *testing.T) {
+	q := NewQueue(1, 8)
+	rel, err := q.Acquire(context.Background(), PriorityRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 5
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := q.Acquire(context.Background(), PrioritySweep)
+			errs <- err
+		}()
+	}
+	for {
+		if _, w := q.Depth(); w == waiters {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.Drain()
+	for i := 0; i < waiters; i++ {
+		if err := <-errs; !errors.Is(err, ErrDraining) {
+			t.Fatalf("shed waiter got %v, want ErrDraining", err)
+		}
+	}
+	if _, err := q.Acquire(context.Background(), PriorityRun); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain acquire got %v, want ErrDraining", err)
+	}
+	rel() // held slot still releases without panic
+	if active, waiting := q.Depth(); active != 0 || waiting != 0 {
+		t.Errorf("after drain+release: active=%d waiting=%d", active, waiting)
+	}
+}
+
+// TestQueueCancelWhileWaiting: a waiter that gives up is withdrawn, and
+// a grant racing the cancellation is passed on rather than leaked.
+func TestQueueCancelWhileWaiting(t *testing.T) {
+	q := NewQueue(1, 8)
+	rel, err := q.Acquire(context.Background(), PriorityRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := q.Acquire(ctx, PriorityRun)
+		got <- err
+	}()
+	for {
+		if _, w := q.Depth(); w == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v", err)
+	}
+	if _, w := q.Depth(); w != 0 {
+		t.Errorf("%d waiters left after withdrawal", w)
+	}
+	rel()
+	// The slot is free again.
+	rel2, err := q.Acquire(context.Background(), PriorityRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+// TestQueueConcurrentChurn hammers the queue from many goroutines (run
+// under -race in CI): every admitted unit must release, and the queue
+// must end empty.
+func TestQueueConcurrentChurn(t *testing.T) {
+	q := NewQueue(4, 16)
+	var admitted, refused atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prio := PrioritySweep
+			if i%3 == 0 {
+				prio = PriorityRun
+			}
+			rel, err := q.Acquire(context.Background(), prio)
+			if err != nil {
+				refused.Add(1)
+				return
+			}
+			admitted.Add(1)
+			time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+			rel()
+		}(i)
+	}
+	wg.Wait()
+	if active, waiting := q.Depth(); active != 0 || waiting != 0 {
+		t.Errorf("queue not empty after churn: active=%d waiting=%d", active, waiting)
+	}
+	if admitted.Load() == 0 {
+		t.Error("nothing admitted")
+	}
+	t.Logf("admitted=%d refused=%d", admitted.Load(), refused.Load())
+}

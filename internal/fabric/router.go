@@ -1,0 +1,586 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	daesim "repro"
+	"repro/internal/serveapi"
+)
+
+// Config configures a Router.
+type Config struct {
+	// Replicas are the dae-serve base URLs (e.g. "http://127.0.0.1:8177")
+	// forming the fabric. At least one is required.
+	Replicas []string
+	// VNodes is the consistent-hash virtual-node count per replica
+	// (<= 0 = DefaultVNodes).
+	VNodes int
+	// HealthEvery is the replica health-probe cadence (<= 0 = 1s).
+	// Probes recover replicas that forwards marked dead.
+	HealthEvery time.Duration
+	// MaxActive bounds concurrently admitted client requests and MaxQueue
+	// the arrivals waiting beyond that; everything past both gets 429
+	// (<= 0 = 64 and 256).
+	MaxActive, MaxQueue int
+	// RetryAfter is the hint clients get with 429/503 (<= 0 = 1s).
+	RetryAfter time.Duration
+	// StoreDir mounts the replicas' shared content-addressed result store
+	// read-only, letting the router itself serve cached hashes
+	// ("" = always forward).
+	StoreDir string
+	// SweepFanout bounds a sweep's concurrent per-request forwards
+	// (<= 0 = 2 per replica, min 4).
+	SweepFanout int
+	// MaxBody bounds request bodies (<= 0 = serveapi.DefaultMaxBody).
+	MaxBody int64
+	// Client overrides the forwarding HTTP client (nil = a pooled default
+	// with no global timeout — streams must outlive any fixed cap).
+	Client *http.Client
+}
+
+// replicaState tracks one replica's liveness as seen by this router.
+type replicaState struct {
+	base  string
+	alive atomic.Bool
+}
+
+// Router is the fabric front end: an http.Handler that consistent-hash
+// routes simulation traffic across dae-serve replicas, with admission
+// control in front and retry-on-replica-death behind. Construct with
+// NewRouter, serve it, and Close it on shutdown (sheds the admission
+// queue, stops health probes).
+type Router struct {
+	cfg      Config
+	ring     *Ring
+	replicas map[string]*replicaState
+	queue    *Queue
+	flights  flightGroup
+	store    *Store // nil without StoreDir
+	client   *http.Client
+	mux      *http.ServeMux
+
+	stopHealth context.CancelFunc
+	healthDone chan struct{}
+}
+
+// forwardResult is one proxied replica response, relayed verbatim so
+// fabric responses stay byte-identical to replica responses.
+type forwardResult struct {
+	status      int
+	contentType string
+	body        []byte
+	replica     string
+}
+
+// NewRouter builds and starts a Router (health probes begin
+// immediately).
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("fabric: router needs at least one replica")
+	}
+	if cfg.HealthEvery <= 0 {
+		cfg.HealthEvery = time.Second
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 64
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 256
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.SweepFanout <= 0 {
+		cfg.SweepFanout = 2 * len(cfg.Replicas)
+		if cfg.SweepFanout < 4 {
+			cfg.SweepFanout = 4
+		}
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = serveapi.DefaultMaxBody
+	}
+	rt := &Router{
+		cfg:      cfg,
+		ring:     NewRing(cfg.VNodes),
+		replicas: make(map[string]*replicaState, len(cfg.Replicas)),
+		queue:    NewQueue(cfg.MaxActive, cfg.MaxQueue),
+		client:   cfg.Client,
+	}
+	for _, base := range cfg.Replicas {
+		for len(base) > 0 && base[len(base)-1] == '/' {
+			base = base[:len(base)-1]
+		}
+		if base == "" {
+			return nil, fmt.Errorf("fabric: empty replica URL")
+		}
+		if _, dup := rt.replicas[base]; dup {
+			return nil, fmt.Errorf("fabric: duplicate replica %s", base)
+		}
+		st := &replicaState{base: base}
+		st.alive.Store(true) // optimistic: forwards self-correct
+		rt.replicas[base] = st
+		rt.ring.Add(base)
+	}
+	if cfg.StoreDir != "" {
+		store, err := OpenStore(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		rt.store = store
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", rt.handleRun)
+	mux.HandleFunc("POST /v1/sweeps", rt.handleSweep)
+	mux.HandleFunc("GET /v1/runs/{hash}", rt.handleGet)
+	mux.HandleFunc("GET /v1/runs/{hash}/events", rt.handleEvents)
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux = mux
+
+	hctx, cancel := context.WithCancel(context.Background())
+	rt.stopHealth = cancel
+	rt.healthDone = make(chan struct{})
+	go rt.healthLoop(hctx)
+	return rt, nil
+}
+
+// Close drains the admission queue (shedding waiters with 503) and stops
+// the health probes. In-flight admitted work is not aborted.
+func (rt *Router) Close() {
+	rt.queue.Drain()
+	rt.stopHealth()
+	<-rt.healthDone
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// healthLoop probes every replica's /healthz on a fixed cadence. Forward
+// failures mark replicas dead instantly; only probes mark them live
+// again.
+func (rt *Router) healthLoop(ctx context.Context) {
+	defer close(rt.healthDone)
+	ticker := time.NewTicker(rt.cfg.HealthEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			rt.probeAll(ctx)
+		}
+	}
+}
+
+// probeAll checks every replica concurrently.
+func (rt *Router) probeAll(ctx context.Context) {
+	timeout := rt.cfg.HealthEvery
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	var wg sync.WaitGroup
+	for _, st := range rt.replicas {
+		wg.Add(1)
+		go func(st *replicaState) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, st.base+"/healthz", nil)
+			if err != nil {
+				st.alive.Store(false)
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				st.alive.Store(false)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			st.alive.Store(resp.StatusCode == http.StatusOK)
+		}(st)
+	}
+	wg.Wait()
+}
+
+// chain returns the failover order for a key: the ring's successor chain
+// with live replicas first (dead-marked ones stay at the tail — a probe
+// may simply not have noticed a recovery yet, and trying them last never
+// costs a live request anything).
+func (rt *Router) chain(hash string) []string {
+	succ := rt.ring.Successors(hash, len(rt.replicas))
+	ordered := make([]string, 0, len(succ))
+	for _, base := range succ {
+		if rt.replicas[base].alive.Load() {
+			ordered = append(ordered, base)
+		}
+	}
+	for _, base := range succ {
+		if !rt.replicas[base].alive.Load() {
+			ordered = append(ordered, base)
+		}
+	}
+	return ordered
+}
+
+// forward proxies one request down hash's failover chain, returning the
+// first replica response. Transport failures mark the replica dead and
+// move on — except the caller's own cancellation, which aborts the
+// forward without blaming the replica.
+func (rt *Router) forward(ctx context.Context, method, path string, body []byte, hash string) (*forwardResult, error) {
+	var lastErr error
+	for _, base := range rt.chain(hash) {
+		req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if method == http.MethodPost {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			rt.replicas[base].alive.Store(false)
+			lastErr = err
+			continue
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// Died mid-response. Retrying is safe: requests are
+			// content-addressed and idempotent, and anything the dead
+			// replica did complete is in the shared store.
+			rt.replicas[base].alive.Store(false)
+			lastErr = err
+			continue
+		}
+		return &forwardResult{
+			status:      resp.StatusCode,
+			contentType: resp.Header.Get("Content-Type"),
+			body:        respBody,
+			replica:     base,
+		}, nil
+	}
+	return nil, fmt.Errorf("fabric: no live replica reachable: %w", lastErr)
+}
+
+// relay writes a replica response verbatim.
+func relay(w http.ResponseWriter, res *forwardResult) {
+	if res.contentType != "" {
+		w.Header().Set("Content-Type", res.contentType)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// admissionError maps queue refusals to HTTP backpressure.
+func (rt *Router) admissionError(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((rt.cfg.RetryAfter+time.Second-1)/time.Second)))
+	switch err {
+	case ErrQueueFull:
+		serveapi.WriteJSON(w, http.StatusTooManyRequests, serveapi.ErrorResponse{Error: err.Error()})
+	case ErrDraining:
+		serveapi.WriteJSON(w, http.StatusServiceUnavailable, serveapi.ErrorResponse{Error: err.Error()})
+	default: // caller cancelled while queued
+		serveapi.WriteJSON(w, 499, serveapi.ErrorResponse{Error: err.Error()})
+	}
+}
+
+// handleRun routes one Request to its owning replica by content hash.
+// Cache hits are served straight from the shared store; misses forward
+// under admission control, collapsed by single-flight so concurrent
+// identical requests — including the retry stampede after a replica
+// death — cost one recomputation.
+func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
+	raw, req, ok := rt.decodeRun(w, r)
+	if !ok {
+		return
+	}
+	hash := req.Hash()
+	// Shared-store fast path: cached results bypass the queue entirely,
+	// which is what keeps cached-run p99 flat under sweep pressure.
+	if rt.store != nil {
+		if rep, ok := rt.store.Get(hash); ok {
+			serveapi.WriteJSON(w, http.StatusOK, serveapi.RunResponse{
+				Label: req.Label, Hash: hash, Cached: true, Report: &rep})
+			return
+		}
+	}
+	res, err := rt.flights.do(r.Context(), hash, func() (*forwardResult, error) {
+		release, err := rt.queue.Acquire(r.Context(), PriorityRun)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return rt.forward(r.Context(), http.MethodPost, "/v1/runs", raw, hash)
+	})
+	switch {
+	case err == ErrQueueFull || err == ErrDraining:
+		rt.admissionError(w, err)
+	case err != nil:
+		status := http.StatusServiceUnavailable
+		if r.Context().Err() != nil {
+			status = 499
+		}
+		serveapi.WriteJSON(w, status, serveapi.ErrorResponse{Error: err.Error()})
+	default:
+		relay(w, res)
+	}
+}
+
+// decodeRun strictly parses a Request body, answering 400 like a replica
+// would on failure. The raw bytes are returned for verbatim forwarding.
+func (rt *Router) decodeRun(w http.ResponseWriter, r *http.Request) ([]byte, daesim.Request, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
+	if err != nil {
+		serveapi.WriteJSON(w, http.StatusBadRequest, serveapi.ErrorResponse{Error: fmt.Sprintf("decode body: %v", err)})
+		return nil, daesim.Request{}, false
+	}
+	var req daesim.Request
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		serveapi.WriteJSON(w, http.StatusBadRequest, serveapi.ErrorResponse{Error: fmt.Sprintf("decode body: %v", err)})
+		return nil, daesim.Request{}, false
+	}
+	return raw, req, true
+}
+
+// routedResult mirrors serveapi.RunResponse with the report kept as raw
+// bytes, so reassembling a sweep cannot perturb replica-produced report
+// JSON.
+type routedResult struct {
+	Label  string          `json:"label,omitempty"`
+	Hash   string          `json:"hash,omitempty"`
+	Cached bool            `json:"cached"`
+	Report json.RawMessage `json:"report,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// routedSweepResponse is the router's sweep reply, shape-identical to
+// serveapi.SweepResponse.
+type routedSweepResponse struct {
+	Results []routedResult `json:"results"`
+	Failed  int            `json:"failed"`
+}
+
+// handleSweep scatters a sweep's requests across the fabric — each
+// routed by its own content hash — and gathers the results in request
+// order. The sweep holds one admission slot; its internal fan-out is
+// bounded by SweepFanout.
+func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sweep serveapi.SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sweep); err != nil {
+		serveapi.WriteJSON(w, http.StatusBadRequest, serveapi.ErrorResponse{Error: fmt.Sprintf("decode body: %v", err)})
+		return
+	}
+	if len(sweep.Requests) == 0 {
+		serveapi.WriteJSON(w, http.StatusBadRequest, serveapi.ErrorResponse{Error: serveapi.EmptySweepError})
+		return
+	}
+	if len(sweep.Requests) > serveapi.MaxSweepRequests {
+		serveapi.WriteJSON(w, http.StatusBadRequest, serveapi.ErrorResponse{
+			Error: serveapi.SweepTooLargeError(len(sweep.Requests))})
+		return
+	}
+	release, err := rt.queue.Acquire(r.Context(), PrioritySweep)
+	if err != nil {
+		rt.admissionError(w, err)
+		return
+	}
+	defer release()
+
+	results := make([]routedResult, len(sweep.Requests))
+	sem := make(chan struct{}, rt.cfg.SweepFanout)
+	var wg sync.WaitGroup
+	for i, rq := range sweep.Requests {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, rq daesim.Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = rt.runOne(r.Context(), rq)
+		}(i, rq)
+	}
+	wg.Wait()
+
+	resp := routedSweepResponse{Results: results}
+	for i := range results {
+		if results[i].Error != "" {
+			resp.Failed++
+		}
+	}
+	serveapi.WriteJSON(w, http.StatusOK, resp)
+}
+
+// runOne resolves one sweep point: store, then a single-flighted forward
+// to the owner chain.
+func (rt *Router) runOne(ctx context.Context, req daesim.Request) routedResult {
+	hash := req.Hash()
+	if rt.store != nil {
+		if rep, ok := rt.store.Get(hash); ok {
+			raw, err := json.Marshal(&rep)
+			if err == nil {
+				return routedResult{Label: req.Label, Hash: hash, Cached: true, Report: raw}
+			}
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return routedResult{Label: req.Label, Error: fmt.Sprintf("encode request: %v", err)}
+	}
+	res, err := rt.flights.do(ctx, hash, func() (*forwardResult, error) {
+		return rt.forward(ctx, http.MethodPost, "/v1/runs", body, hash)
+	})
+	if err != nil {
+		return routedResult{Label: req.Label, Hash: hash, Error: err.Error()}
+	}
+	if res.status != http.StatusOK {
+		var e serveapi.ErrorResponse
+		json.Unmarshal(res.body, &e)
+		if e.Error == "" {
+			e.Error = fmt.Sprintf("replica %s: status %d", res.replica, res.status)
+		}
+		rr := routedResult{Label: req.Label, Error: e.Error}
+		if res.status != http.StatusBadRequest {
+			// Replicas omit the hash only for requests that failed
+			// validation (before hashing).
+			rr.Hash = hash
+		}
+		return rr
+	}
+	var rr routedResult
+	if err := json.Unmarshal(res.body, &rr); err != nil {
+		return routedResult{Label: req.Label, Hash: hash, Error: fmt.Sprintf("replica %s: malformed response: %v", res.replica, err)}
+	}
+	return rr
+}
+
+// handleGet serves a result by hash: from the shared store if mounted
+// (no replica involved — this path survives total replica loss), else
+// proxied down the owner chain.
+func (rt *Router) handleGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if rt.store != nil {
+		if rep, ok := rt.store.Get(hash); ok {
+			serveapi.WriteJSON(w, http.StatusOK, serveapi.RunResponse{Hash: hash, Cached: true, Report: &rep})
+			return
+		}
+	}
+	res, err := rt.forward(r.Context(), http.MethodGet, "/v1/runs/"+hash, nil, hash)
+	if err != nil {
+		serveapi.WriteJSON(w, http.StatusServiceUnavailable, serveapi.ErrorResponse{Error: err.Error()})
+		return
+	}
+	relay(w, res)
+}
+
+// handleEvents proxies a run's progress stream from its owning replica,
+// flushing chunk by chunk so SSE events reach the client as they happen.
+func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	flusher, canFlush := w.(http.Flusher)
+	var lastErr error
+	for _, base := range rt.chain(hash) {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, base+"/v1/runs/"+hash+"/events", nil)
+		if err != nil {
+			break
+		}
+		if accept := r.Header.Get("Accept"); accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			rt.replicas[base].alive.Store(false)
+			lastErr = err
+			continue
+		}
+		defer resp.Body.Close()
+		for _, h := range []string{"Content-Type", "Cache-Control"} {
+			if v := resp.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 4<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return
+				}
+				if canFlush {
+					flusher.Flush()
+				}
+			}
+			if err != nil {
+				return // io.EOF ends the stream; mid-stream errors end it too
+			}
+		}
+	}
+	serveapi.WriteJSON(w, http.StatusServiceUnavailable, serveapi.ErrorResponse{
+		Error: fmt.Sprintf("fabric: no live replica for event stream: %v", lastErr)})
+}
+
+// ReplicaStatus is one replica's liveness in the router's health reply.
+type ReplicaStatus struct {
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+}
+
+// Health is the router's GET /healthz reply.
+type Health struct {
+	// OK is true while at least one replica is believed live.
+	OK       bool            `json:"ok"`
+	Replicas []ReplicaStatus `json:"replicas"`
+	// QueueActive/QueueWaiting snapshot the admission queue.
+	QueueActive  int `json:"queueActive"`
+	QueueWaiting int `json:"queueWaiting"`
+}
+
+// handleHealth reports the router's own liveness: replica states and
+// queue depth.
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := Health{}
+	for base, st := range rt.replicas {
+		alive := st.alive.Load()
+		h.Replicas = append(h.Replicas, ReplicaStatus{URL: base, Alive: alive})
+		if alive {
+			h.OK = true
+		}
+	}
+	sort.Slice(h.Replicas, func(i, j int) bool { return h.Replicas[i].URL < h.Replicas[j].URL })
+	h.QueueActive, h.QueueWaiting = rt.queue.Depth()
+	status := http.StatusOK
+	if !h.OK {
+		status = http.StatusServiceUnavailable
+	}
+	serveapi.WriteJSON(w, status, h)
+}

@@ -1,0 +1,68 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// flightGroup collapses concurrent identical work: while one caller (the
+// owner) executes fn for a key, later callers with the same key wait and
+// share the owner's result instead of re-executing. This is what makes
+// "a dead replica's in-flight work is recomputed exactly once" true at
+// the router: when a replica dies with N clients waiting on the same
+// Request hash, all N retries collapse into one forward to the successor
+// replica — whose own Engine dedup then guards against other routers.
+//
+// Mirroring internal/runner's in-flight table, a waiter whose owner was
+// cancelled or timed out (while the waiter itself is still live) does
+// not inherit the owner's failure: it loops and becomes the next owner,
+// so one impatient client cannot poison everyone behind it.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight execution.
+type flightCall struct {
+	done chan struct{}
+	val  *forwardResult
+	err  error
+}
+
+// do executes fn for key, collapsing concurrent duplicates.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*forwardResult, error)) (*forwardResult, error) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*flightCall)
+		}
+		if c, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if c.err != nil && ctx.Err() == nil &&
+				(errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+				// The owner's cancellation, not ours: retry as owner.
+				continue
+			}
+			return c.val, c.err
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.m[key] = c
+		g.mu.Unlock()
+
+		c.val, c.err = fn()
+		// Deregister before signalling so a caller arriving after
+		// completion starts fresh (and hits the cache) rather than
+		// adopting a stale response.
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		return c.val, c.err
+	}
+}

@@ -68,7 +68,23 @@ func (c *cache) get(hash string) (stats.Report, bool) {
 	if c.dir == "" {
 		return stats.Report{}, false
 	}
-	raw, err := os.ReadFile(c.path(hash))
+	rep, ok = LoadEntry(c.dir, hash)
+	if !ok {
+		return stats.Report{}, false
+	}
+	c.mu.Lock()
+	c.mem[hash] = rep
+	c.mu.Unlock()
+	return rep, true
+}
+
+// LoadEntry reads one on-disk cache entry by content hash straight from
+// a cache directory, without a Runner. Unreadable or mismatched entries
+// are misses. It is the read-only path behind the fabric's shared result
+// store: any process that can see the directory can serve any hash a
+// replica has computed.
+func LoadEntry(dir, hash string) (stats.Report, bool) {
+	raw, err := os.ReadFile(filepath.Join(dir, hash+".json"))
 	if err != nil {
 		return stats.Report{}, false
 	}
@@ -76,9 +92,6 @@ func (c *cache) get(hash string) (stats.Report, bool) {
 	if err := json.Unmarshal(raw, &e); err != nil || e.Hash != hash {
 		return stats.Report{}, false
 	}
-	c.mu.Lock()
-	c.mem[hash] = e.Report
-	c.mu.Unlock()
 	return e.Report, true
 }
 

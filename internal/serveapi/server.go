@@ -1,4 +1,18 @@
-package main
+// Package serveapi is the HTTP surface of the simulation service: the
+// JSON API cmd/dae-serve mounts over one daesim.Engine. It lives in its
+// own package (rather than in cmd/dae-serve) because the fabric front
+// end — cmd/dae-router — speaks, proxies and reassembles exactly these
+// request/response shapes, and the fabric's in-process end-to-end tests
+// boot real replicas from this handler.
+//
+// Endpoints:
+//
+//	POST /v1/runs                 execute one daesim.Request (JSON body)
+//	POST /v1/sweeps               execute {"requests": [...]}; per-result errors
+//	GET  /v1/runs/{hash}          serve a previously computed result by hash
+//	GET  /v1/runs/{hash}/events   stream the run's progress (SSE or NDJSON)
+//	GET  /healthz                 liveness + engine cache statistics
+package serveapi
 
 import (
 	"context"
@@ -13,12 +27,21 @@ import (
 
 // API limits.
 const (
-	// defaultMaxBody bounds request bodies (a Request is a few KB; custom
+	// DefaultMaxBody bounds request bodies (a Request is a few KB; custom
 	// workload models stay well under this).
-	defaultMaxBody = 8 << 20
-	// maxSweepRequests bounds one sweep submission.
-	maxSweepRequests = 4096
+	DefaultMaxBody = 8 << 20
+	// MaxSweepRequests bounds one sweep submission.
+	MaxSweepRequests = 4096
 )
+
+// EmptySweepError is the 400 message for a sweep naming no runs. The
+// router rejects with the same bytes a replica would.
+const EmptySweepError = "empty sweep: requests must name at least one run"
+
+// SweepTooLargeError is the 400 message for an oversized sweep.
+func SweepTooLargeError(n int) string {
+	return fmt.Sprintf("sweep of %d requests exceeds the %d-request limit", n, MaxSweepRequests)
+}
 
 // server wires a shared Engine into the HTTP API. All endpoints speak
 // JSON; simulation results are served from the Engine's content-addressed
@@ -27,13 +50,13 @@ const (
 type server struct {
 	eng *daesim.Engine
 	// timeout caps one run's wall time (0 = none). Sweeps are capped as
-	// a whole.
+	// a whole. Event streams are exempt: they follow the watched run.
 	timeout time.Duration
 	maxBody int64
 }
 
-// runResponse is one executed (or failed) request.
-type runResponse struct {
+// RunResponse is one executed (or failed) request.
+type RunResponse struct {
 	// Label echoes the request's display name.
 	Label string `json:"label,omitempty"`
 	// Hash is the request's content hash; GET /v1/runs/{hash} serves the
@@ -48,49 +71,50 @@ type runResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
-// sweepRequest is the POST /v1/sweeps body.
-type sweepRequest struct {
+// SweepRequest is the POST /v1/sweeps body.
+type SweepRequest struct {
 	Requests []daesim.Request `json:"requests"`
 }
 
-// sweepResponse is the POST /v1/sweeps reply: one result per request, in
+// SweepResponse is the POST /v1/sweeps reply: one result per request, in
 // request order.
-type sweepResponse struct {
-	Results []runResponse `json:"results"`
+type SweepResponse struct {
+	Results []RunResponse `json:"results"`
 	// Failed counts results carrying an error.
 	Failed int `json:"failed"`
 }
 
-// healthResponse is the GET /healthz reply.
-type healthResponse struct {
+// HealthResponse is the GET /healthz reply.
+type HealthResponse struct {
 	OK bool `json:"ok"`
 	// Stats snapshots the Engine's lifetime counters.
 	Stats daesim.Stats `json:"stats"`
 }
 
-// errorResponse is every non-2xx body.
-type errorResponse struct {
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// newHandler builds the HTTP API over eng.
-func newHandler(eng *daesim.Engine, timeout time.Duration, maxBody int64) http.Handler {
+// NewHandler builds the HTTP API over eng.
+func NewHandler(eng *daesim.Engine, timeout time.Duration, maxBody int64) http.Handler {
 	if maxBody <= 0 {
-		maxBody = defaultMaxBody
+		maxBody = DefaultMaxBody
 	}
 	s := &server{eng: eng, timeout: timeout, maxBody: maxBody}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleRun)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	mux.HandleFunc("GET /v1/runs/{hash}", s.handleGet)
+	mux.HandleFunc("GET /v1/runs/{hash}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
 
-// writeJSON writes v with the same encoder settings dae-sim -json uses,
+// WriteJSON writes v with the same encoder settings dae-sim -json uses,
 // so the "report" object inside every response is byte-identical to the
 // CLI's output for the same Request.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -98,9 +122,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) // best effort: the client may already be gone
 }
 
-// statusFor maps an execution error to an HTTP status via the package's
+// StatusFor maps an execution error to an HTTP status via the package's
 // typed sentinels.
-func statusFor(err error) int {
+func StatusFor(err error) int {
 	switch {
 	case errors.Is(err, daesim.ErrInvalidRequest),
 		errors.Is(err, daesim.ErrUnknownBenchmark),
@@ -140,7 +164,7 @@ func (s *server) runCtx(r *http.Request) (context.Context, context.CancelFunc) {
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req daesim.Request
 	if err := s.decode(w, r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
 	ctx, cancel := s.runCtx(r)
@@ -149,10 +173,10 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	results, _ := s.eng.RunBatch(ctx, []daesim.Request{req})
 	res := results[0]
 	if res.Err != nil {
-		writeJSON(w, statusFor(res.Err), errorResponse{Error: res.Err.Error()})
+		WriteJSON(w, StatusFor(res.Err), ErrorResponse{Error: res.Err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, runResponse{
+	WriteJSON(w, http.StatusOK, RunResponse{
 		Label:  res.Request.Label,
 		Hash:   res.Hash,
 		Cached: res.Cached,
@@ -164,26 +188,26 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 // Individual failures never fail the sweep; each result carries its own
 // error and the reply is always 200 once the body parses.
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req sweepRequest
+	var req SweepRequest
 	if err := s.decode(w, r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
 	if len(req.Requests) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty sweep: requests must name at least one run"})
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: EmptySweepError})
 		return
 	}
-	if len(req.Requests) > maxSweepRequests {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("sweep of %d requests exceeds the %d-request limit", len(req.Requests), maxSweepRequests)})
+	if len(req.Requests) > MaxSweepRequests {
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: SweepTooLargeError(len(req.Requests))})
 		return
 	}
 	ctx, cancel := s.runCtx(r)
 	defer cancel()
 	results, _ := s.eng.RunBatch(ctx, req.Requests)
-	resp := sweepResponse{Results: make([]runResponse, len(results))}
+	resp := SweepResponse{Results: make([]RunResponse, len(results))}
 	for i, res := range results {
-		rr := runResponse{Label: res.Request.Label, Hash: res.Hash, Cached: res.Cached}
+		rr := RunResponse{Label: res.Request.Label, Hash: res.Hash, Cached: res.Cached}
 		if res.Err != nil {
 			rr.Error = res.Err.Error()
 			resp.Failed++
@@ -193,7 +217,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results[i] = rr
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleGet serves a previously computed result by content hash:
@@ -202,14 +226,14 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	rep, ok := s.eng.Lookup(hash)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{
+		WriteJSON(w, http.StatusNotFound, ErrorResponse{
 			Error: fmt.Sprintf("no cached result for hash %q (POST the request to /v1/runs to compute it)", hash)})
 		return
 	}
-	writeJSON(w, http.StatusOK, runResponse{Hash: hash, Cached: true, Report: &rep})
+	WriteJSON(w, http.StatusOK, RunResponse{Hash: hash, Cached: true, Report: &rep})
 }
 
 // handleHealth reports liveness and the Engine's counters.
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{OK: true, Stats: s.eng.Stats()})
+	WriteJSON(w, http.StatusOK, HealthResponse{OK: true, Stats: s.eng.Stats()})
 }

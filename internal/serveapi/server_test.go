@@ -1,4 +1,4 @@
-package main
+package serveapi
 
 import (
 	"bytes"
@@ -26,7 +26,7 @@ func newTestServer(t *testing.T, opts daesim.EngineOpts, timeout time.Duration) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(eng, timeout, defaultMaxBody))
+	ts := httptest.NewServer(NewHandler(eng, timeout, DefaultMaxBody))
 	t.Cleanup(ts.Close)
 	return ts, eng
 }
@@ -98,7 +98,7 @@ func TestRunEndpointGolden(t *testing.T) {
 	var goldenBuf bytes.Buffer
 	enc := json.NewEncoder(&goldenBuf)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(runResponse{
+	if err := enc.Encode(RunResponse{
 		Label:  "golden",
 		Hash:   req.Hash(),
 		Cached: false,
@@ -115,7 +115,7 @@ func TestRunEndpointCacheHitVsMiss(t *testing.T) {
 	ts, eng := newTestServer(t, daesim.EngineOpts{Workers: 1}, 0)
 	req := daesim.BenchmarkRequest("swim", daesim.Figure2(1), tinyOpts())
 
-	var first, second runResponse
+	var first, second RunResponse
 	if code := do(t, "POST", ts.URL+"/v1/runs", req, &first); code != 200 {
 		t.Fatalf("miss status %d", code)
 	}
@@ -143,7 +143,7 @@ func TestGetByHashEndpoint(t *testing.T) {
 	req := daesim.MixRequest(daesim.Figure2(1), tinyOpts())
 
 	// Unknown hash: 404 with a JSON error body.
-	var errResp errorResponse
+	var errResp ErrorResponse
 	if code := do(t, "GET", ts.URL+"/v1/runs/"+req.Hash(), nil, &errResp); code != http.StatusNotFound {
 		t.Fatalf("unknown hash status %d, want 404", code)
 	}
@@ -152,11 +152,11 @@ func TestGetByHashEndpoint(t *testing.T) {
 	}
 
 	// Compute it, then GET serves it without re-simulating.
-	var run runResponse
+	var run RunResponse
 	if code := do(t, "POST", ts.URL+"/v1/runs", req, &run); code != 200 {
 		t.Fatalf("POST status %d", code)
 	}
-	var got runResponse
+	var got RunResponse
 	if code := do(t, "GET", ts.URL+"/v1/runs/"+req.Hash(), nil, &got); code != 200 {
 		t.Fatalf("GET status %d", code)
 	}
@@ -172,12 +172,12 @@ func TestGetByHashEndpoint(t *testing.T) {
 
 func TestSweepEndpointPartialFailure(t *testing.T) {
 	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 2}, 0)
-	sweep := sweepRequest{Requests: []daesim.Request{
+	sweep := SweepRequest{Requests: []daesim.Request{
 		daesim.MixRequest(daesim.Figure2(1), tinyOpts()),
 		daesim.BenchmarkRequest("quake3", daesim.Figure2(1), tinyOpts()), // invalid
 		daesim.BenchmarkRequest("swim", daesim.Figure2(1), tinyOpts()),
 	}}
-	var resp sweepResponse
+	var resp SweepResponse
 	if code := do(t, "POST", ts.URL+"/v1/sweeps", sweep, &resp); code != 200 {
 		t.Fatalf("status %d", code)
 	}
@@ -212,7 +212,7 @@ func TestValidationMapsToBadRequest(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var body errorResponse
+		var body ErrorResponse
 		json.NewDecoder(resp.Body).Decode(&body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
@@ -272,7 +272,7 @@ func TestClientCancellationAbortsRun(t *testing.T) {
 	if _, ok := eng.Lookup(req.Hash()); ok {
 		t.Error("aborted run left a cache entry")
 	}
-	var health healthResponse
+	var health HealthResponse
 	if code := do(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 || !health.OK {
 		t.Fatalf("healthz after abort: code=%d %+v", code, health)
 	}
@@ -281,7 +281,7 @@ func TestClientCancellationAbortsRun(t *testing.T) {
 func TestServerTimeoutMapsToGatewayTimeout(t *testing.T) {
 	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 1}, 50*time.Millisecond)
 	req := daesim.MixRequest(daesim.Figure2(1), daesim.RunOpts{WarmupInsts: 500, MeasureInsts: 500_000_000})
-	var body errorResponse
+	var body ErrorResponse
 	if code := do(t, "POST", ts.URL+"/v1/runs", req, &body); code != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504 (%+v)", code, body)
 	}
@@ -316,7 +316,7 @@ func TestRunEndpointHierarchyRequest(t *testing.T) {
 	sloppy := req
 	sloppy.Machine.Mem.L2Latency = 16
 
-	var rr runResponse
+	var rr RunResponse
 	if code := do(t, http.MethodPost, ts.URL+"/v1/runs", sloppy, &rr); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
@@ -331,7 +331,7 @@ func TestRunEndpointHierarchyRequest(t *testing.T) {
 		t.Errorf("L2 level stats empty: %+v", l2)
 	}
 	// And the cache serves it back by hash, levels intact.
-	var again runResponse
+	var again RunResponse
 	if code := do(t, http.MethodGet, ts.URL+"/v1/runs/"+req.Hash(), nil, &again); code != http.StatusOK {
 		t.Fatalf("GET by hash status %d", code)
 	}
