@@ -56,11 +56,19 @@ type benchConfig struct {
 }
 
 func configs() []benchConfig {
+	sharedL2 := func(m config.Machine) config.Machine {
+		return m.WithHierarchy(64, config.SharedL2(256<<10, 8))
+	}
 	return []benchConfig{
 		{"1T-L2_16", config.Figure2(1)},
 		{"1T-L2_256", config.Figure2(1).WithL2Latency(256)},
 		{"4T-L2_16", config.Figure2(4)},
 		{"4T-L2_256", config.Figure2(4).WithL2Latency(256)},
+		// CMP cores-scaling configs (one context per core, 256KB shared
+		// L2 + DRAM): the wall-clock cost of composing cores over the
+		// shared fabric.
+		{"2C1T-sharedL2", sharedL2(config.Figure2(1).WithCores(2))},
+		{"4C1T-sharedL2", sharedL2(config.Figure2(1).WithCores(4))},
 	}
 }
 
@@ -119,22 +127,22 @@ func measure(cfg benchConfig, mode string, insts int64) (Record, error) {
 	res := testing.Benchmark(func(b *testing.B) {
 		skipped, cycles = 0, 0
 		for i := 0; i < b.N; i++ {
-			c, err := core.New(cfg.machine, sources(cfg.machine.Threads))
+			m, err := build(cfg.machine)
 			if err != nil {
 				buildErr = err
 				b.FailNow()
 			}
 			if mode == "stepped" {
-				for c.Collector().Graduated < insts {
-					c.Tick()
+				for m.graduated() < insts {
+					m.tick()
 				}
 			} else {
-				for c.Collector().Graduated < insts {
-					c.Step(horizon)
+				for m.graduated() < insts {
+					m.step(horizon)
 				}
 			}
-			skipped += c.SkippedCycles()
-			cycles += c.Collector().Cycles
+			skipped += m.skipped()
+			cycles += m.cycles()
 		}
 	})
 	if buildErr != nil {
@@ -159,4 +167,41 @@ func measure(cfg benchConfig, mode string, insts int64) (Record, error) {
 
 func sources(threads int) []trace.Reader {
 	return workload.MixSources(threads, workload.MixOpts{})
+}
+
+// machine abstracts the single-core Core and the multi-core CMP behind
+// the benchmark loop's five probes.
+type machine struct {
+	tick      func()
+	step      func(int64)
+	graduated func() int64
+	cycles    func() int64
+	skipped   func() int64
+}
+
+func build(m config.Machine) (machine, error) {
+	if m.CoreCount() > 1 {
+		p, err := core.NewCMP(m, sources(m.TotalContexts()))
+		if err != nil {
+			return machine{}, err
+		}
+		return machine{
+			tick:      p.Tick,
+			step:      p.Step,
+			graduated: p.Graduated,
+			cycles:    func() int64 { return p.Core(0).Collector().Cycles },
+			skipped:   p.SkippedCycles,
+		}, nil
+	}
+	c, err := core.New(m, sources(m.Threads))
+	if err != nil {
+		return machine{}, err
+	}
+	return machine{
+		tick:      c.Tick,
+		step:      func(h int64) { c.Step(h) },
+		graduated: func() int64 { return c.Collector().Graduated },
+		cycles:    func() int64 { return c.Collector().Cycles },
+		skipped:   c.SkippedCycles,
+	}, nil
 }

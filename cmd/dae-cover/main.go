@@ -1,0 +1,164 @@
+// Command dae-cover gates CI on per-package statement coverage: it
+// parses a `go test -coverprofile` file, computes coverage for each
+// package named in a floors file (COVERAGE.json at the repository
+// root), prints a markdown table suitable for a GitHub job summary, and
+// exits non-zero when any package falls below its committed floor.
+//
+//	go test -short -coverprofile=cover.out ./...
+//	dae-cover -profile cover.out -floors COVERAGE.json
+//
+// The floors file maps import paths to minimum statement-coverage
+// percentages:
+//
+//	{"repro/internal/core": 80, "repro/internal/mem": 85}
+//
+// Raising a floor is how a PR locks in coverage it added; the gate only
+// ever fails on regressions below the committed value.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dae-cover", flag.ContinueOnError)
+	profile := fs.String("profile", "cover.out", "coverage profile from `go test -coverprofile`")
+	floorsPath := fs.String("floors", "COVERAGE.json", "JSON file mapping import paths to minimum coverage percentages")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	floors, err := loadFloors(*floorsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dae-cover:", err)
+		return 1
+	}
+	cov, err := packageCoverage(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dae-cover:", err)
+		return 1
+	}
+
+	pkgs := make([]string, 0, len(floors))
+	for p := range floors {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	fmt.Println("| package | coverage | floor | status |")
+	fmt.Println("|---|---:|---:|---|")
+	failed := false
+	for _, p := range pkgs {
+		c, measured := cov[p]
+		status := "ok"
+		switch {
+		case !measured:
+			status = "**missing from profile**"
+			failed = true
+		case c.percent() < floors[p]:
+			status = "**below floor**"
+			failed = true
+		}
+		fmt.Printf("| %s | %.1f%% | %.1f%% | %s |\n", p, c.percent(), floors[p], status)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "dae-cover: coverage below the committed floor (see table)")
+		return 1
+	}
+	return 0
+}
+
+func loadFloors(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var floors map[string]float64
+	if err := json.Unmarshal(b, &floors); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(floors) == 0 {
+		return nil, fmt.Errorf("%s: no coverage floors committed", path)
+	}
+	return floors, nil
+}
+
+// counts accumulates one package's profile blocks.
+type counts struct{ covered, total int64 }
+
+func (c counts) percent() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+// packageCoverage parses a coverprofile into per-package statement
+// counts. Block lines look like
+//
+//	repro/internal/core/core.go:95.64,100.16 3 1
+//
+// (file:startLine.col,endLine.col numStatements hitCount); the package
+// is the file path's directory. Overlapping re-runs of the same block
+// (profiles merged across packages by `go test ./...`) count once per
+// line, which is exactly how `go tool cover -func` totals them.
+func packageCoverage(profile string) (map[string]counts, error) {
+	f, err := os.Open(profile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	cov := make(map[string]counts)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "mode:") {
+			continue
+		}
+		file, rest, ok := strings.Cut(text, ":")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: malformed block %q", profile, line, text)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed block %q", profile, line, text)
+		}
+		stmts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: statement count: %w", profile, line, err)
+		}
+		hits, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: hit count: %w", profile, line, err)
+		}
+		c := cov[path.Dir(file)]
+		c.total += stmts
+		if hits > 0 {
+			c.covered += stmts
+		}
+		cov[path.Dir(file)] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cov) == 0 {
+		return nil, fmt.Errorf("%s: empty coverage profile", profile)
+	}
+	return cov, nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const profile = `mode: set
+repro/internal/core/core.go:10.2,12.3 3 1
+repro/internal/core/core.go:14.2,20.3 5 0
+repro/internal/mem/mem.go:5.2,9.3 4 1
+`
+
+func TestPackageCoverage(t *testing.T) {
+	dir := t.TempDir()
+	cov, err := packageCoverage(write(t, dir, "cover.out", profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cov["repro/internal/core"]
+	if core.covered != 3 || core.total != 8 {
+		t.Errorf("core counts = %+v", core)
+	}
+	if got := core.percent(); got < 37.4 || got > 37.6 {
+		t.Errorf("core percent = %.2f, want 37.5", got)
+	}
+	if mem := cov["repro/internal/mem"]; mem.percent() != 100 {
+		t.Errorf("mem percent = %.2f", mem.percent())
+	}
+}
+
+func TestPackageCoverageRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, bad := range map[string]string{
+		"empty":     "mode: set\n",
+		"malformed": "mode: set\nnot a block line\n",
+		"badcount":  "mode: set\nf.go:1.2,3.4 x 1\n",
+	} {
+		if _, err := packageCoverage(write(t, dir, name, bad)); err == nil {
+			t.Errorf("%s profile accepted", name)
+		}
+	}
+}
+
+func TestGateExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	prof := write(t, dir, "cover.out", profile)
+
+	pass := write(t, dir, "pass.json", `{"repro/internal/core": 30, "repro/internal/mem": 95}`)
+	if code := run([]string{"-profile", prof, "-floors", pass}); code != 0 {
+		t.Errorf("passing gate exited %d", code)
+	}
+
+	below := write(t, dir, "below.json", `{"repro/internal/core": 50}`)
+	if code := run([]string{"-profile", prof, "-floors", below}); code != 1 {
+		t.Errorf("below-floor gate exited %d, want 1", code)
+	}
+
+	missing := write(t, dir, "missing.json", `{"repro/internal/nosuch": 10}`)
+	if code := run([]string{"-profile", prof, "-floors", missing}); code != 1 {
+		t.Errorf("missing-package gate exited %d, want 1", code)
+	}
+
+	empty := write(t, dir, "empty.json", `{}`)
+	if code := run([]string{"-profile", prof, "-floors", empty}); code != 1 {
+		t.Errorf("empty floors exited %d, want 1", code)
+	}
+}

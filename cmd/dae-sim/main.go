@@ -9,6 +9,8 @@
 //	dae-sim -section2 -bench fpppp -l2 256 # the paper's Section-2 machine
 //	dae-sim -threads 4 -l2size 262144      # finite 256KB shared L2 + DRAM
 //	                                       # instead of the flat infinite L2
+//	dae-sim -cores 2 -threads 2 -l2size 262144   # 2-core CMP sharing the L2
+//	dae-sim -cores 4 -threads 1 -l2size 65536 -privatel2  # per-core L2s
 package main
 
 import (
@@ -29,7 +31,9 @@ import (
 
 func main() {
 	var (
-		threads      = flag.Int("threads", 1, "hardware contexts")
+		threads      = flag.Int("threads", 1, "hardware contexts (per core with -cores)")
+		cores        = flag.Int("cores", 1, "CMP cores, each with its own contexts and private L1, composed over the finite shared hierarchy (-l2size) or the flat L2")
+		privateL2    = flag.Bool("privatel2", false, "replicate the finite L2 per core instead of sharing it (with -cores and -l2size)")
 		bench        = flag.String("bench", "", "single benchmark to run (default: the all-benchmark mix); one of "+strings.Join(daesim.Benchmarks(), ","))
 		l2           = flag.Int64("l2", 16, "flat L2 latency in cycles (ignored with -l2size)")
 		l2Size       = flag.Int("l2size", 0, "finite shared L2 capacity in bytes; 0 keeps the paper's infinite flat L2")
@@ -80,13 +84,16 @@ func main() {
 	} else {
 		m = daesim.Figure2(*threads)
 	}
-	m = m.WithThreads(*threads).WithL2Latency(*l2)
+	m = m.WithThreads(*threads).WithL2Latency(*l2).WithCores(*cores)
 	if *l2Size > 0 {
 		spec := daesim.SharedL2(*l2Size, *l2Assoc)
 		spec.MSHRs = *l2MSHRs
 		spec.HitLatency = *l2HitLat
 		spec.BusBytesPerCycle = *memBus
 		m = m.WithHierarchy(*dram, spec)
+	}
+	if *privateL2 {
+		m = m.WithPrivateHierarchy()
 	}
 	if *nondecoupled {
 		m = m.NonDecoupled()
@@ -121,7 +128,11 @@ func main() {
 		if *l2Size > 0 {
 			memDesc = fmt.Sprintf("l2size=%d", *l2Size)
 		}
-		req.Label = fmt.Sprintf("dae-sim %s threads=%d %s", what, m.Threads, memDesc)
+		coresDesc := ""
+		if m.CoreCount() > 1 {
+			coresDesc = fmt.Sprintf("cores=%d ", m.CoreCount())
+		}
+		req.Label = fmt.Sprintf("dae-sim %s %sthreads=%d %s", what, coresDesc, m.Threads, memDesc)
 		if *hashOnly {
 			fmt.Println(req.Hash())
 			return
@@ -170,8 +181,8 @@ func runRequest(ctx context.Context, req daesim.Request, cacheDir string) (daesi
 // thread), as produced by `dae-trace gen`. Finite traces run to
 // completion; the measurement window still applies if smaller.
 func runFromFiles(ctx context.Context, m daesim.Machine, paths []string, opts daesim.RunOpts) (daesim.Report, error) {
-	if len(paths) != m.Threads {
-		return daesim.Report{}, fmt.Errorf("%d trace files for %d threads", len(paths), m.Threads)
+	if len(paths) != m.TotalContexts() {
+		return daesim.Report{}, fmt.Errorf("%d trace files for %d contexts", len(paths), m.TotalContexts())
 	}
 	sources := make([]trace.Reader, len(paths))
 	closers := make([]*os.File, len(paths))

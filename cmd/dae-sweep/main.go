@@ -13,6 +13,7 @@
 //	dae-sweep -fig 5                   # Figure 5 thread requirements
 //	dae-sweep -fig a1..a7              # ablations
 //	dae-sweep -fig i1                  # shared-L2 interference study
+//	dae-sweep -fig c1                  # CMP scaling study (multi-core)
 //	dae-sweep -fig 1d -measure 2000000 # bigger budget per thread
 //	dae-sweep -fig all -cache .sweeps  # persist results; re-runs and
 //	                                   # crashed sweeps resume from disk
@@ -272,6 +273,7 @@ var figureCatalog = []struct{ key, desc string }{
 	{"a6", "Ablation A6: fixed vs latency-scaled buffering (4 threads, L2=256)"},
 	{"a7", "Ablation A7: issue priority and branch predictor (4 threads, L2=16)"},
 	{"i1", "Ablation I1: shared-L2 interference — IPC and per-thread L2 miss ratio vs contexts at several finite L2 sizes (L2+DRAM hierarchy)"},
+	{"c1", "Figure C1: CMP scaling — aggregate IPC vs cores × contexts, shared vs private L2, cross-core interference"},
 }
 
 // listFigures renders the catalog.
@@ -418,6 +420,16 @@ func sweep(fig string, budget experiments.Budget, csvDir string, stdout, stderr 
 			return err
 		}
 		if err := saveCSV(csvDir, "i1.csv", r, stderr); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, r.Table())
+	}
+	if want("c1") {
+		r, err := experiments.C1(budget)
+		if err != nil {
+			return err
+		}
+		if err := saveCSV(csvDir, "c1.csv", r, stderr); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, r.Table())

@@ -79,7 +79,7 @@ func TestRunUnknownFigure(t *testing.T) {
 		t.Errorf("stderr = %q", stderr.String())
 	}
 	// The error enumerates every known key so the user need not guess.
-	for _, key := range []string{"1a", "a7", "i1", "-fig list"} {
+	for _, key := range []string{"1a", "a7", "i1", "c1", "-fig list"} {
 		if !strings.Contains(stderr.String(), key) {
 			t.Errorf("unknown-figure error does not mention %q: %q", key, stderr.String())
 		}
@@ -257,5 +257,26 @@ func TestProgressNeverWritesStdout(t *testing.T) {
 	}
 	if !strings.Contains(stderr2.String(), "done") {
 		t.Error("progress lines missing from stderr")
+	}
+}
+
+func TestRunC1OutputShape(t *testing.T) {
+	csvDir := t.TempDir()
+	var stdout, stderr strings.Builder
+	if code := run(tinyArgs("-fig", "c1", "-csv", csvDir), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Figure C1", "cores", "shared", "private", "256KB", "invals"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	b, err := os.ReadFile(filepath.Join(csvDir, "c1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "cores,contexts,l2_bytes,private") {
+		t.Errorf("c1.csv header: %q", string(b[:60]))
 	}
 }

@@ -27,9 +27,10 @@ import (
 )
 
 func main() {
-	maxThreads := flag.Int("maxthreads", 16, "largest context count to sweep")
+	maxThreads := flag.Int("maxthreads", 16, "largest context count to sweep (per core)")
 	measure := flag.Int64("measure", 400_000, "instructions per thread per run")
 	l2Size := flag.Int("l2size", 0, "finite shared L2 capacity in bytes (0 = the paper's infinite flat L2)")
+	cores := flag.Int("cores", 1, "CMP cores sharing the hierarchy (each context count then applies per core)")
 	flag.Parse()
 
 	eng, err := daesim.NewEngine(daesim.EngineOpts{})
@@ -51,13 +52,14 @@ func main() {
 	var reqs []daesim.Request
 	for t := 1; t <= *maxThreads; t++ {
 		opts := daesim.RunOpts{
-			WarmupInsts:  100_000 * int64(t),
-			MeasureInsts: *measure * int64(t),
+			WarmupInsts:  100_000 * int64(t**cores),
+			MeasureInsts: *measure * int64(t**cores),
 		}
 		m := daesim.Figure2(t).WithL2Latency(64)
 		if *l2Size > 0 {
 			m = daesim.Figure2(t).WithHierarchy(64, daesim.SharedL2(*l2Size, 8))
 		}
+		m = m.WithCores(*cores)
 		reqs = append(reqs,
 			daesim.MixRequest(m, opts),
 			daesim.MixRequest(m.NonDecoupled(), opts))

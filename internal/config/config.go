@@ -46,8 +46,17 @@ const (
 
 // Machine is the complete parameter set for one simulated configuration.
 type Machine struct {
-	// Threads is the number of hardware contexts.
+	// Threads is the number of hardware contexts per core.
 	Threads int
+	// Cores is the number of cores of a chip multiprocessor: each core
+	// replicates the full pipeline — Threads SMT contexts, decoupled
+	// AP/EP queues, private L1 and MSHRs — and the cores compose over
+	// the shared memory levels (the finite Hierarchy, or the flat
+	// infinite L2) with write-invalidate coherence between the private
+	// L1s. Zero or one selects the paper's single-core machine, whose
+	// simulation path (and result encoding) is unchanged; the omitempty
+	// keeps every pre-CMP configuration hash pinned.
+	Cores int `json:",omitempty"`
 	// Decoupled selects the decoupled issue model; false disables the
 	// instruction queues' slippage (the paper's "non-decoupled" machine:
 	// per-thread program-order issue across both units).
@@ -230,6 +239,36 @@ func (m Machine) WithThreads(n int) Machine {
 	return m
 }
 
+// WithCores returns a copy of m with the core count set (see Cores).
+func (m Machine) WithCores(n int) Machine {
+	m.Cores = n
+	return m
+}
+
+// WithPrivateHierarchy returns a copy of m whose hierarchy levels are
+// replicated per core (each core gets its own finite L2 chain over the
+// shared DRAM) instead of shared between the cores — the private-vs-
+// shared L2 axis of figure C1. Meaningful only with Cores > 1 and a
+// finite hierarchy.
+func (m Machine) WithPrivateHierarchy() Machine {
+	m.Mem.PrivateHierarchy = true
+	return m
+}
+
+// CoreCount returns the effective number of cores (Cores, floored at 1:
+// zero is the canonical single-core spelling).
+func (m Machine) CoreCount() int {
+	if m.Cores > 1 {
+		return m.Cores
+	}
+	return 1
+}
+
+// TotalContexts returns the machine-wide hardware context count:
+// CoreCount() × Threads. Workload builders produce one instruction
+// stream per context, core c running contexts [c×Threads, (c+1)×Threads).
+func (m Machine) TotalContexts() int { return m.CoreCount() * m.Threads }
+
 // scaleFactor implements the Section-2 scaling rule.
 func (m Machine) scaleFactor() int {
 	if !m.ScaleWithLatency {
@@ -280,6 +319,17 @@ func (m Machine) Validate() error {
 	switch {
 	case m.Threads <= 0:
 		return fail("threads %d must be positive", m.Threads)
+	case m.Cores < 0:
+		return fail("cores %d must be non-negative", m.Cores)
+	case m.Mem.PrivateHierarchy && m.CoreCount() == 1:
+		// A single core's "private" hierarchy is just the hierarchy; the
+		// stray spelling would hash apart from the canonical machine.
+		return fail("private hierarchy requires multiple cores")
+	case m.ScaleWithLatency && m.CoreCount() > 1:
+		// The Section-2 scaling rule targets the single-threaded
+		// latency study; its interaction with CMP composition is
+		// undefined.
+		return fail("latency-proportional scaling applies only to single-core machines")
 	case m.FetchThreads <= 0:
 		return fail("fetch threads %d must be positive", m.FetchThreads)
 	case m.FetchWidth <= 0:

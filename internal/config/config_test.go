@@ -270,3 +270,58 @@ func TestWithHierarchy(t *testing.T) {
 		t.Error("WithHierarchy aliased the caller's level slice")
 	}
 }
+
+func TestCoresValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		mut  func(*Machine)
+	}{
+		{"negative cores", func(m *Machine) { m.Cores = -1 }},
+		{"private hierarchy on one core", func(m *Machine) {
+			m.Cores = 0
+			m.Mem.PrivateHierarchy = true
+		}},
+		{"private hierarchy without hierarchy", func(m *Machine) {
+			m.Mem.Hierarchy = nil
+			m.Mem.PrivateHierarchy = true
+		}},
+		{"latency scaling on a CMP", func(m *Machine) { m.ScaleWithLatency = true }},
+	}
+	for _, c := range bad {
+		m := Figure2(2).WithCores(2).WithHierarchy(64, SharedL2(256<<10, 8))
+		c.mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+
+	// A CMP over the flat L2 and over a private hierarchy both validate.
+	if err := Figure2(2).WithCores(2).Validate(); err != nil {
+		t.Errorf("flat CMP rejected: %v", err)
+	}
+	m := Figure2(1).WithCores(2).WithHierarchy(64, SharedL2(64<<10, 8)).WithPrivateHierarchy()
+	if err := m.Validate(); err != nil {
+		t.Errorf("private-hierarchy CMP rejected: %v", err)
+	}
+}
+
+func TestCoreCountAndTotalContexts(t *testing.T) {
+	cases := []struct {
+		cores, threads, wantCores, wantCtx int
+	}{
+		{0, 1, 1, 1}, // zero value: single core
+		{1, 4, 1, 4}, // explicit 1 is still a single-core machine
+		{2, 1, 2, 2},
+		{4, 2, 4, 8},
+	}
+	for _, c := range cases {
+		m := Figure2(c.threads).WithCores(c.cores)
+		if got := m.CoreCount(); got != c.wantCores {
+			t.Errorf("Cores=%d: CoreCount() = %d, want %d", c.cores, got, c.wantCores)
+		}
+		if got := m.TotalContexts(); got != c.wantCtx {
+			t.Errorf("Cores=%d Threads=%d: TotalContexts() = %d, want %d",
+				c.cores, c.threads, got, c.wantCtx)
+		}
+	}
+}

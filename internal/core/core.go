@@ -97,12 +97,19 @@ func New(m config.Machine, sources []trace.Reader) (*Core, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if len(sources) != m.Threads {
-		return nil, fmt.Errorf("core: %d sources for %d threads", len(sources), m.Threads)
-	}
 	ms, err := mem.New(m.Mem)
 	if err != nil {
 		return nil, err
+	}
+	return newCore(m, sources, ms)
+}
+
+// newCore wires a core around an already-built memory system (its own,
+// from New, or a CMP interconnect slot, from NewCMP). m must already be
+// effective and validated.
+func newCore(m config.Machine, sources []trace.Reader, ms *mem.System) (*Core, error) {
+	if len(sources) != m.Threads {
+		return nil, fmt.Errorf("core: %d sources for %d threads", len(sources), m.Threads)
 	}
 	c := &Core{cfg: m, mem: ms, branchResolveAt: Never}
 	// Shared hierarchy levels (finite L2 and below) install lines — and

@@ -128,6 +128,22 @@ func (r *AblationResult) WriteCSV(w io.Writer) error {
 	return writeCSV(w, header, rows)
 }
 
+// WriteCSV emits the C1 point list in long form:
+// cores,contexts,l2_bytes,private,ipc,l2_miss,mem_bus_util,invalidations
+func (r *C1Result) WriteCSV(w io.Writer) error {
+	header := []string{"cores", "contexts", "l2_bytes", "private", "ipc", "l2_miss", "mem_bus_util", "invalidations"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Cores), strconv.Itoa(p.Contexts), strconv.Itoa(p.L2Size),
+			strconv.FormatBool(p.Private),
+			fs(p.IPC), fs(p.L2Miss), fs(p.MemBus),
+			strconv.FormatInt(p.Invalidations, 10),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
 // WriteCSV emits the interference grid in long form:
 // l2_bytes,threads,ipc,l2_miss,mem_bus_util
 func (r *InterferenceResult) WriteCSV(w io.Writer) error {

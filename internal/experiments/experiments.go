@@ -103,7 +103,7 @@ func (b Budget) mixJob(key string, m config.Machine) runner.Job {
 		Key:      key,
 		Machine:  m,
 		Workload: runner.MixWorkload(b.Seed, b.SegmentLen),
-		Budget:   b.totals(m.Threads),
+		Budget:   b.totals(m.TotalContexts()),
 	}
 }
 
@@ -113,7 +113,7 @@ func (b Budget) benchJob(key string, m config.Machine, bench string) runner.Job 
 		Key:      key,
 		Machine:  m,
 		Workload: runner.BenchWorkload(bench, b.Seed),
-		Budget:   b.totals(m.Threads),
+		Budget:   b.totals(m.TotalContexts()),
 	}
 }
 

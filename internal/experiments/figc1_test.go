@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestC1Structure(t *testing.T) {
+	b := testBudget()
+	// Trimmed axes: the capacity extremes and the core-count extremes
+	// carry the signal; the canonical grid runs via `dae-sweep -fig c1`.
+	cores := []int{1, 2}
+	contexts := []int{1, 2}
+	sizes := []int{64 << 10}
+	r, err := C1Grid(b, cores, contexts, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Point count: scaling (cores × contexts) + private (multi-core
+	// counts) + interference (sizes × cores).
+	want := len(cores)*len(contexts) + 1 + len(sizes)*len(cores)
+	if len(r.Points) != want {
+		t.Fatalf("%d points, want %d", len(r.Points), want)
+	}
+	for _, p := range r.Points {
+		if p.IPC <= 0 {
+			t.Errorf("cores=%d ctx=%d: non-positive IPC", p.Cores, p.Contexts)
+		}
+		if p.L2Miss < 0 || p.L2Miss > 1 {
+			t.Errorf("cores=%d ctx=%d: miss ratio %f out of range", p.Cores, p.Contexts, p.L2Miss)
+		}
+		// Private address spaces: the coherence machinery must stay
+		// silent for this workload. A non-zero count means cross-core
+		// address collisions (or a broadcast bug).
+		if p.Invalidations != 0 {
+			t.Errorf("cores=%d ctx=%d private=%v: %d invalidations, want 0",
+				p.Cores, p.Contexts, p.Private, p.Invalidations)
+		}
+	}
+
+	if p := r.Lookup(2, 1, C1SharedL2Size, true); p == nil || !p.Private {
+		t.Error("Lookup missed the private 2-core point")
+	}
+	if p := r.Lookup(1, 1, 64<<10, false); p == nil {
+		t.Error("Lookup missed the interference point")
+	}
+	if r.Lookup(8, 1, C1SharedL2Size, false) != nil {
+		t.Error("Lookup invented a point outside the grid")
+	}
+
+	for _, wantStr := range []string{"Figure C1", "shared", "private", "invals", "256KB"} {
+		if !strings.Contains(r.Table(), wantStr) {
+			t.Errorf("table missing %q", wantStr)
+		}
+	}
+
+	if quant() {
+		// More cores, more aggregate throughput: the scaling section's
+		// point of existing.
+		one := r.Lookup(1, 1, C1SharedL2Size, false)
+		two := r.Lookup(2, 1, C1SharedL2Size, false)
+		if two.IPC <= one.IPC {
+			t.Errorf("2-core IPC %.2f not above 1-core %.2f", two.IPC, one.IPC)
+		}
+		// Cross-core interference: two cores on a 64KB shared L2 miss
+		// more than one core does.
+		oneSmall := r.Lookup(1, 1, 64<<10, false)
+		twoSmall := r.Lookup(2, 1, 64<<10, false)
+		if twoSmall.L2Miss <= oneSmall.L2Miss {
+			t.Errorf("2-core 64KB miss ratio %.3f not above 1-core %.3f",
+				twoSmall.L2Miss, oneSmall.L2Miss)
+		}
+	}
+}
+
+func TestC1CSV(t *testing.T) {
+	r := &C1Result{Points: []C1Point{
+		{Cores: 2, Contexts: 1, L2Size: 64 << 10, Private: true, IPC: 1.5, L2Miss: 0.25, MemBus: 0.5},
+	}}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{"cores,contexts,l2_bytes,private", "2,1,65536,true,1.5"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("CSV missing %q in:\n%s", want, got)
+		}
+	}
+}

@@ -82,6 +82,14 @@ type LevelStats struct {
 	// level's downstream bus was busy (the memory bus, for the last
 	// level). Filled in by System.LevelStats.
 	BusUtilization float64
+	// Invalidations counts lines invalidated by a remote core's write
+	// (CMP write-invalidate coherence; always 0 — and omitted from
+	// encodings — on single-core machines, pinning their report hashes).
+	Invalidations int64 `json:",omitempty"`
+	// CoherenceWritebacks counts dirty copies pushed downstream by an
+	// invalidation (the modified data migrates to the shared level
+	// before the line dies).
+	CoherenceWritebacks int64 `json:",omitempty"`
 }
 
 // MissRatio returns primary misses / accesses (0 if no accesses).
@@ -123,6 +131,12 @@ type mshr struct {
 	fill  int64 // cycle the line is installed in this level
 	dirty bool  // a store (or write-back) merged into the miss: mark dirty at fill
 	valid bool
+	// cancelled marks an in-flight fill invalidated by a remote write:
+	// the data still arrives (and serves the accesses that merged before
+	// the invalidation), but the line is not installed. A later access
+	// merging into the entry re-arms the install — it is a fresh request
+	// for the line, satisfied by the same in-flight transfer.
+	cancelled bool
 }
 
 // smallMSHRFile is the file size up to which findMSHR's FIFO walk beats
@@ -206,17 +220,26 @@ func (l *level) beginCycle(now int64) int {
 		if e.fill > now {
 			break // FIFO in fill order: nothing behind is due either
 		}
-		victim := l.tags.Fill(e.line)
-		if e.dirty {
-			l.tags.SetDirty(e.line)
-		}
-		l.lstats.Fills++
-		filled++
-		if victim.Valid && victim.Dirty {
-			// The write-back occupies the data bus for one line transfer.
-			l.bus.Reserve(now, l.bus.TransferCycles(l.lineBytes))
-			l.lstats.Writebacks++
-			l.next.writeback(victim.Addr, now)
+		if e.cancelled {
+			// The fill was invalidated in flight: the transfer happened
+			// (its bus time is already booked) but the line is dead on
+			// arrival — nothing installs, nothing is evicted. Freeing the
+			// MSHR is still an event worth a tick: it can unblock
+			// MSHR-rejected accesses.
+			filled++
+		} else {
+			victim := l.tags.Fill(e.line)
+			if e.dirty {
+				l.tags.SetDirty(e.line)
+			}
+			l.lstats.Fills++
+			filled++
+			if victim.Valid && victim.Dirty {
+				// The write-back occupies the data bus for one line transfer.
+				l.bus.Reserve(now, l.bus.TransferCycles(l.lineBytes))
+				l.lstats.Writebacks++
+				l.next.writeback(victim.Addr, now)
+			}
 		}
 		e.valid = false
 		l.mshrsInUse--
@@ -279,6 +302,7 @@ func (l *level) fetch(line uint64, ready int64) (int64, bool) {
 	// data cannot be forwarded up before it arrives here, nor faster
 	// than a hit could serve it.
 	if e := l.findMSHR(line); e != nil {
+		e.cancelled = false // a fresh request re-arms a cancelled fill
 		l.lstats.Accesses++
 		l.lstats.SecondaryMisses++
 		avail := ready + l.hitLatency
@@ -308,6 +332,32 @@ func (l *level) fetch(line uint64, ready int64) (int64, bool) {
 	return fill, true
 }
 
+// invalidate kills this level's copy of line on a remote core's write
+// (write-invalidate coherence): a cached copy is dropped — a dirty one
+// is first written back downstream, booking the level's bus like any
+// write-back, so the modified data survives at the shared level — and a
+// pending fill is cancelled in flight (the transfer completes but the
+// line is dead on arrival; see mshr.cancelled). Reports whether a copy
+// (cached or in flight) was present.
+func (l *level) invalidate(line uint64, now int64) bool {
+	if dirty, present := l.tags.Invalidate(line); present {
+		l.lstats.Invalidations++
+		if dirty {
+			l.bus.Reserve(now, l.bus.TransferCycles(l.lineBytes))
+			l.lstats.CoherenceWritebacks++
+			l.next.writeback(line, now)
+		}
+		return true
+	}
+	if e := l.findMSHR(line); e != nil && !e.cancelled {
+		e.cancelled = true
+		e.dirty = false
+		l.lstats.Invalidations++
+		return true
+	}
+	return false
+}
+
 // writeback implements backend: a dirty line evicted by the level above
 // arrives at cycle now. A hit dirties the line; a write to a pending
 // fetch merges; a miss installs the line directly — the whole line is
@@ -320,6 +370,7 @@ func (l *level) writeback(line uint64, now int64) {
 	}
 	if e := l.findMSHR(line); e != nil {
 		e.dirty = true
+		e.cancelled = false // the merged write re-arms a cancelled fill
 		return
 	}
 	victim := l.tags.Fill(line)

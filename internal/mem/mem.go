@@ -55,6 +55,13 @@ type Config struct {
 	// hierarchy level; its bandwidth limit is the last level's
 	// BusBytesPerCycle (the memory bus). Hierarchy mode only.
 	DRAMLatency int64 `json:",omitempty"`
+
+	// PrivateHierarchy replicates the Hierarchy levels per core of a
+	// chip multiprocessor — each core gets its own finite chain over the
+	// shared DRAM — instead of sharing one chain between the cores.
+	// Meaningful only under an Interconnect with more than one core
+	// (config.Machine.Validate rejects it on single-core machines).
+	PrivateHierarchy bool `json:",omitempty"`
 }
 
 // Validate checks the configuration.
@@ -78,6 +85,8 @@ func (c Config) Validate() error {
 			return fmt.Errorf("mem: L2 latency %d must be positive", c.L2Latency)
 		case c.DRAMLatency != 0:
 			return fmt.Errorf("mem: DRAM latency %d requires a hierarchy", c.DRAMLatency)
+		case c.PrivateHierarchy:
+			return fmt.Errorf("mem: private hierarchy requires a hierarchy")
 		}
 		return nil
 	}
@@ -189,6 +198,21 @@ func (s Stats) StoreMissRatio() float64 {
 	return float64(s.StoreMisses) / float64(s.StoreAccesses)
 }
 
+// Merge sums another L1's counters into s — CMP reports aggregate the
+// cores' private L1s into the one Stats slot single-core reports use.
+func (s *Stats) Merge(o Stats) {
+	s.LoadAccesses += o.LoadAccesses
+	s.LoadMisses += o.LoadMisses
+	s.StoreAccesses += o.StoreAccesses
+	s.StoreMisses += o.StoreMisses
+	s.SecondaryMisses += o.SecondaryMisses
+	s.Writebacks += o.Writebacks
+	s.Fills += o.Fills
+	s.PortRejects += o.PortRejects
+	s.MSHRRejects += o.MSHRRejects
+	s.LowerRejects += o.LowerRejects
+}
+
 // System is the memory subsystem: the port-arbitrated L1 level over a
 // backend chain of shared levels ending in a fixed-latency terminus.
 // Create with New; not safe for concurrent use (the simulator is
@@ -206,6 +230,13 @@ type System struct {
 	l1Stats   LevelStats
 	// levelStats backs each shared level's counters.
 	levelStats []LevelStats
+
+	// ic and coreID attach this System to a CMP interconnect: the shared
+	// levels live in the interconnect (s.levels is nil then) and stores
+	// broadcast write-invalidations to the other cores' private levels.
+	// Nil on the paper's single-core machine.
+	ic     *Interconnect
+	coreID int
 }
 
 // New builds a memory subsystem. It returns an error for invalid
@@ -274,6 +305,21 @@ func (s *System) LevelStats(end, window int64) []LevelStats {
 	return out
 }
 
+// L1LevelStats returns the private L1's counters in LevelStats form
+// (named "c<i>.L1" on CMP machines) with bus utilization over the
+// window ending at cycle end. The CMP report lists one per core ahead
+// of the interconnect's shared levels, so per-core coherence traffic
+// (invalidations, coherence write-backs) is visible per L1.
+func (s *System) L1LevelStats(end, window int64) LevelStats {
+	ls := s.l1Stats
+	ls.Accesses = s.stats.LoadAccesses + s.stats.StoreAccesses
+	ls.Misses = s.stats.LoadMisses + s.stats.StoreMisses
+	ls.SecondaryMisses = s.stats.SecondaryMisses
+	ls.MSHRRejects = s.stats.MSHRRejects
+	ls.BusUtilization = s.l1.bus.Utilization(end, window)
+	return ls
+}
+
 // MSHRsInUse returns the number of occupied L1 MSHRs.
 func (s *System) MSHRsInUse() int { return s.l1.mshrsInUse }
 
@@ -323,6 +369,9 @@ func (s *System) access(addr uint64, isStore bool) Result {
 		s.count(isStore, false)
 		if isStore {
 			l1.tags.SetDirty(addr)
+			if s.ic != nil {
+				s.ic.invalidateRemote(s.coreID, line)
+			}
 		}
 		return Result{OK: true, ReadyAt: s.now + s.cfg.HitLatency}
 	}
@@ -332,8 +381,12 @@ func (s *System) access(addr uint64, isStore bool) Result {
 		s.portsUsed++
 		s.count(isStore, false)
 		s.stats.SecondaryMisses++
+		e.cancelled = false // a fresh access re-arms an invalidated fill
 		if isStore {
 			e.dirty = true
+		}
+		if isStore && s.ic != nil {
+			s.ic.invalidateRemote(s.coreID, line)
 		}
 		return Result{OK: true, ReadyAt: e.fill, Miss: true}
 	}
@@ -356,6 +409,12 @@ func (s *System) access(addr uint64, isStore bool) Result {
 	}
 	s.portsUsed++
 	s.count(isStore, true)
+	if isStore && s.ic != nil {
+		// The invalidation rides the miss request: remote copies die at
+		// the (eager) access time, matching the eager tag-probe timing
+		// approximation the rest of the miss pipeline uses.
+		s.ic.invalidateRemote(s.coreID, line)
+	}
 	fill := l1.bus.Reserve(avail, l1.bus.TransferCycles(s.cfg.L1.LineBytes))
 	l1.alloc(line, fill, isStore)
 	return Result{OK: true, ReadyAt: fill, Miss: true}
@@ -393,7 +452,7 @@ func (s *System) StoreCommit(addr uint64) Result {
 // exclude warm-up from measurements). Cache and MSHR state are preserved.
 func (s *System) ResetStats() {
 	s.stats = Stats{}
-	s.l1Stats = LevelStats{}
+	s.l1Stats = LevelStats{Name: s.l1Stats.Name}
 	s.l1.bus.Reset()
 	for i, l := range s.levels {
 		s.levelStats[i] = LevelStats{Name: s.levelStats[i].Name}

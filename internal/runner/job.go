@@ -150,11 +150,15 @@ func (j Job) Validate() error {
 	return nil
 }
 
-// benchSources builds one per-thread reader copy of benchmark b, each
-// with a private address space and a perturbed seed.
+// benchSources builds one per-context reader copy of benchmark b, each
+// with a private address space and a perturbed seed. On CMP machines
+// every context across every core gets its own copy (contexts are
+// numbered core-major), so cores interfere through the shared levels
+// only, never by sharing a stream.
 func (j Job) benchSources(b workload.Benchmark) []trace.Reader {
-	srcs := make([]trace.Reader, j.Machine.Threads)
-	for t := 0; t < j.Machine.Threads; t++ {
+	n := j.Machine.TotalContexts()
+	srcs := make([]trace.Reader, n)
+	for t := 0; t < n; t++ {
 		srcs[t] = b.NewReader(workload.ReaderOpts{
 			AddrOffset: workload.ThreadAddrOffset(t),
 			Seed:       j.Workload.Seed + uint64(t),
@@ -163,11 +167,11 @@ func (j Job) benchSources(b workload.Benchmark) []trace.Reader {
 	return srcs
 }
 
-// sources builds the per-thread instruction streams.
+// sources builds the per-context instruction streams.
 func (j Job) sources() ([]trace.Reader, error) {
 	switch j.Workload.Kind {
 	case KindMix:
-		return workload.MixSources(j.Machine.Threads, workload.MixOpts{
+		return workload.MixSources(j.Machine.TotalContexts(), workload.MixOpts{
 			SegmentLen: j.Workload.SegmentLen,
 			Seed:       j.Workload.Seed,
 		}), nil

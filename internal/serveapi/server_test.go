@@ -339,3 +339,56 @@ func TestRunEndpointHierarchyRequest(t *testing.T) {
 		t.Errorf("cache round-trip lost the hierarchy levels: %+v", again)
 	}
 }
+
+// TestRunEndpointCMPRequest: a multi-core request round-trips through
+// the service — normalized hash (Cores=1 folds to the single-core
+// encoding), per-core L1 levels plus the shared L2 in the report, and a
+// cache hit serving the same levels back.
+func TestRunEndpointCMPRequest(t *testing.T) {
+	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 1}, 0)
+	req := daesim.MixRequest(daesim.Figure2(1).WithCores(2).
+		WithHierarchy(64, daesim.SharedL2(128<<10, 8)), tinyOpts())
+
+	var rr RunResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/runs", req, &rr); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if rr.Hash != req.Hash() {
+		t.Errorf("served hash %s, want %s", rr.Hash, req.Hash())
+	}
+	if rr.Report == nil || rr.Report.Cores != 2 {
+		t.Fatalf("report not multi-core: %+v", rr.Report)
+	}
+	names := make(map[string]bool)
+	for _, lv := range rr.Report.MemLevels {
+		names[lv.Name] = true
+	}
+	for _, want := range []string{"c0.L1", "c1.L1", "L2"} {
+		if !names[want] {
+			t.Errorf("report levels missing %q (have %v)", want, names)
+		}
+	}
+	if len(rr.Report.PerCoreGraduated) != 2 {
+		t.Errorf("PerCoreGraduated = %v", rr.Report.PerCoreGraduated)
+	}
+
+	// An explicit Cores=1 must normalize into the single-core keyspace.
+	one := daesim.MixRequest(daesim.Figure2(2).WithCores(1), tinyOpts())
+	base := daesim.MixRequest(daesim.Figure2(2), tinyOpts())
+	var or RunResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/runs", one, &or); code != http.StatusOK {
+		t.Fatalf("Cores=1 status %d", code)
+	}
+	if or.Hash != base.Hash() {
+		t.Errorf("Cores=1 hash %s, want the single-core %s", or.Hash, base.Hash())
+	}
+
+	// Cache round-trip keeps the CMP fields.
+	var again RunResponse
+	if code := do(t, http.MethodGet, ts.URL+"/v1/runs/"+req.Hash(), nil, &again); code != http.StatusOK {
+		t.Fatalf("GET by hash status %d", code)
+	}
+	if !again.Cached || again.Report.Cores != 2 {
+		t.Errorf("cache round-trip lost the CMP shape: %+v", again.Report)
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// runCMP is Run for multi-core machines. It mirrors the single-core
+// loop — warm-up window, stats reset, measurement window, report — over
+// a core.CMP; the single-core path in Run is kept verbatim so the
+// default machine's results stay byte-identical to the pre-CMP tree.
+// Window boundaries are in aggregate graduated instructions across all
+// cores (the budget is for the machine, not per core), matching how
+// runner.Job provisions WarmupPerThread × TotalContexts.
+func runCMP(ctx context.Context, opts Options) (Result, error) {
+	p, err := core.NewCMP(opts.Machine, opts.Sources)
+	if err != nil {
+		return Result{}, err
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = DefaultMaxCycles
+	}
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = DefaultProgressEvery
+	}
+	var polls int64
+	snapshot := func(phase string, target int64) Snapshot {
+		return Snapshot{
+			Phase:       phase,
+			Graduated:   p.Graduated(),
+			TargetInsts: target,
+			Cycles:      p.Core(0).Collector().Cycles,
+			TotalCycles: p.Now(),
+		}
+	}
+	step := p.Tick
+	if !opts.Stepped {
+		step = func() { p.Step(maxCycles) }
+	}
+
+	// Warm-up window.
+	completed := true
+	nextSnap := every
+	for p.Graduated() < opts.WarmupInsts && !p.Done() {
+		if p.Now() >= maxCycles {
+			completed = false
+			break
+		}
+		if polls++; polls&cancelPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		if opts.OnProgress != nil && p.Graduated() >= nextSnap {
+			opts.OnProgress(snapshot(PhaseWarmup, opts.WarmupInsts))
+			nextSnap = p.Graduated() + every
+		}
+		step()
+	}
+	p.ResetStats()
+
+	// Measurement window.
+	nextSnap = every
+	for (opts.MeasureInsts <= 0 || p.Graduated() < opts.MeasureInsts) && !p.Done() {
+		if p.Now() >= maxCycles {
+			completed = false
+			break
+		}
+		if polls++; polls&cancelPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		if opts.OnProgress != nil && p.Graduated() >= nextSnap {
+			opts.OnProgress(snapshot(PhaseMeasure, opts.MeasureInsts))
+			nextSnap = p.Graduated() + every
+		}
+		step()
+	}
+	if opts.OnProgress != nil {
+		opts.OnProgress(snapshot(PhaseMeasure, opts.MeasureInsts))
+	}
+
+	return Result{Report: p.Report(), Completed: completed, TotalCycles: p.Now()}, nil
+}

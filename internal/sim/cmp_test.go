@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// The CMP arm of the golden equivalence suite: multi-core runs must be
+// bit-identical between cycle stepping and fast-forwarding, for the
+// shared and the private hierarchy, and Run must dispatch to the CMP
+// driver purely on the machine's core count.
+
+func TestEquivalenceCMPConfigs(t *testing.T) {
+	sharedL2 := func(m config.Machine) config.Machine {
+		return m.WithHierarchy(64, config.SharedL2(256<<10, 8))
+	}
+	cases := []struct {
+		name    string
+		machine config.Machine
+	}{
+		// 2 cores × 1 context, shared L2: the minimal CMP.
+		{"cmp2x1/shared", sharedL2(config.Figure2(1).WithCores(2))},
+		// 2 cores × 2 contexts: SMT inside each core plus sharing below.
+		{"cmp2x2/shared", sharedL2(config.Figure2(2).WithCores(2))},
+		// 4 cores × 1 context over a small shared L2: heavy interference,
+		// shared-MSHR contention, cross-core fill broadcasts.
+		{"cmp4x1/contended", config.Figure2(1).WithCores(4).
+			WithHierarchy(64, config.SharedL2(64<<10, 8))},
+		// Private per-core L2s over shared DRAM.
+		{"cmp2x1/private", config.Figure2(1).WithCores(2).
+			WithHierarchy(64, config.SharedL2(64<<10, 8)).WithPrivateHierarchy()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.machine.TotalContexts()
+			opts := Options{
+				Machine:      tc.machine,
+				WarmupInsts:  shortWarmup * int64(n),
+				MeasureInsts: shortMeasure * int64(n),
+			}
+			res := runBoth(t, tc.name, opts, func() []trace.Reader {
+				return mixSources(t, n, 7)
+			})
+			if res.Report.Cores != tc.machine.CoreCount() {
+				t.Errorf("Report.Cores = %d, want %d", res.Report.Cores, tc.machine.CoreCount())
+			}
+			if len(res.Report.PerCoreGraduated) != tc.machine.CoreCount() {
+				t.Errorf("PerCoreGraduated = %v", res.Report.PerCoreGraduated)
+			}
+		})
+	}
+}
+
+// TestCMPRunDeterministic: the full sim.Run path (warmup, stat reset,
+// measure) gives byte-identical results across repeated CMP runs.
+func TestCMPRunDeterministic(t *testing.T) {
+	m := config.Figure2(2).WithCores(2).
+		WithHierarchy(64, config.SharedL2(256<<10, 8))
+	n := m.TotalContexts()
+	run := func() Result {
+		res, err := Run(context.Background(), Options{
+			Machine:      m,
+			Sources:      mixSources(t, n, 3),
+			WarmupInsts:  shortWarmup * int64(n),
+			MeasureInsts: shortMeasure * int64(n),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("CMP Run not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestCMPRespectsMaxCycles: the cycle cap applies to the lockstep chip
+// clock.
+func TestCMPRespectsMaxCycles(t *testing.T) {
+	m := config.Figure2(1).WithCores(2).
+		WithHierarchy(64, config.SharedL2(256<<10, 8))
+	res, err := Run(context.Background(), Options{
+		Machine:      m,
+		Sources:      mixSources(t, m.TotalContexts(), 3),
+		WarmupInsts:  0,
+		MeasureInsts: 1 << 50,
+		MaxCycles:    500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Error("run reported completion under a tiny cycle cap")
+	}
+	if res.TotalCycles > 500 {
+		t.Errorf("TotalCycles = %d, cap 500", res.TotalCycles)
+	}
+}

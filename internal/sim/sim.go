@@ -92,6 +92,9 @@ type Result struct {
 // (the loop polls the context every few hundred scheduler steps) and
 // returns ctx's error; cancellation never produces a partial Result.
 func Run(ctx context.Context, opts Options) (Result, error) {
+	if opts.Machine.Effective().CoreCount() > 1 {
+		return runCMP(ctx, opts)
+	}
 	c, err := core.New(opts.Machine, opts.Sources)
 	if err != nil {
 		return Result{}, err

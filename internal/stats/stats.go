@@ -148,6 +148,33 @@ type Collector struct {
 // Reset zeroes the collector.
 func (c *Collector) Reset() { *c = Collector{} }
 
+// MergeCore folds another core's collector into c for CMP aggregate
+// reporting: every counter sums, except Cycles — the cores tick in
+// lockstep, so their cycle counts are identical and c keeps its own.
+// Merge in fixed core order: the waste buckets are floats and summation
+// order must be deterministic.
+func (c *Collector) MergeCore(o *Collector) {
+	c.Graduated += o.Graduated
+	for i := range c.GraduatedByOp {
+		c.GraduatedByOp[i] += o.GraduatedByOp[i]
+	}
+	for u := range c.Slots {
+		c.Slots[u].Issued += o.Slots[u].Issued
+		c.Slots[u].Total += o.Slots[u].Total
+		for r := range c.Slots[u].Wasted {
+			c.Slots[u].Wasted[r] += o.Slots[u].Wasted[r]
+		}
+	}
+	c.PerceivedFP.Merge(o.PerceivedFP)
+	c.PerceivedInt.Merge(o.PerceivedInt)
+	c.Branches += o.Branches
+	c.Mispredicts += o.Mispredicts
+	c.FetchedInsts += o.FetchedInsts
+	c.DispatchStalls += o.DispatchStalls
+	c.LoadConflictStalls += o.LoadConflictStalls
+	c.StoreForwards += o.StoreForwards
+}
+
 // IPC returns graduated instructions per cycle.
 func (c *Collector) IPC() float64 {
 	if c.Cycles == 0 {
@@ -187,7 +214,18 @@ type Report struct {
 	// (per-level counters and downstream-bus utilization, top-down from
 	// the L2). Nil for the default flat-L2 model — and omitted from the
 	// JSON encoding, so default-model report hashes are unchanged.
+	// On CMP machines the per-core private L1s lead the list (named
+	// "c<i>.L1", carrying the coherence counters), followed by the
+	// interconnect-owned levels.
 	MemLevels []mem.LevelStats `json:",omitempty"`
+	// Cores is the CMP core count; 0 (omitted, pinning single-core
+	// report encodings) on the paper's single-core machine. Collector
+	// counters and Mem are then aggregates over the cores, and Threads
+	// is contexts per core.
+	Cores int `json:",omitempty"`
+	// PerCoreGraduated breaks retirement down by core on CMP machines
+	// (nil on single-core machines).
+	PerCoreGraduated []int64 `json:",omitempty"`
 }
 
 // String renders a human-readable multi-line summary.
@@ -200,6 +238,9 @@ func (r Report) String() string {
 	memDesc := fmt.Sprintf("L2=%d", r.L2Latency)
 	if len(r.MemLevels) > 0 {
 		memDesc = "mem=hierarchy"
+	}
+	if r.Cores > 1 {
+		fmt.Fprintf(&b, "cores=%d ", r.Cores)
 	}
 	fmt.Fprintf(&b, "threads=%d mode=%s %s cycles=%d insts=%d IPC=%.3f\n",
 		r.Threads, mode, memDesc, r.Cycles, r.Graduated, r.IPC())

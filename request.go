@@ -123,6 +123,11 @@ func (r Request) Normalized() Request {
 	} else {
 		r.Machine.Mem.L2Latency = 0
 	}
+	// Cores canonicalization: one core IS the single-core machine, so an
+	// explicit Cores=1 hashes (and caches) identically to the default 0.
+	if r.Machine.Cores == 1 {
+		r.Machine.Cores = 0
+	}
 	return r
 }
 
@@ -234,8 +239,12 @@ func (r Request) label() string {
 			what = r.Workload.Custom.Name
 		}
 	}
-	if h := r.Machine.Mem.Hierarchy; len(h) > 0 {
-		return fmt.Sprintf("%s threads=%d l2size=%d", what, r.Machine.Threads, h[0].Cache.SizeBytes)
+	cores := ""
+	if r.Machine.CoreCount() > 1 {
+		cores = fmt.Sprintf("cores=%d ", r.Machine.CoreCount())
 	}
-	return fmt.Sprintf("%s threads=%d L2=%d", what, r.Machine.Threads, r.Machine.Mem.L2Latency)
+	if h := r.Machine.Mem.Hierarchy; len(h) > 0 {
+		return fmt.Sprintf("%s %sthreads=%d l2size=%d", what, cores, r.Machine.Threads, h[0].Cache.SizeBytes)
+	}
+	return fmt.Sprintf("%s %sthreads=%d L2=%d", what, cores, r.Machine.Threads, r.Machine.Mem.L2Latency)
 }

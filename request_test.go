@@ -169,10 +169,47 @@ func TestRequestHashesPinned(t *testing.T) {
 			RunOpts{WarmupInsts: 2000, MeasureInsts: 8000, Seed: 7}),
 			"7bd9dd8b54d451ae39c4a2e39aafa3918dfba21128abf1a6d02e660b1c356bd1"},
 	}
+	// CMP requests (PR 7): pinned at introduction. Cores and the
+	// coherence stats are omitempty, so these join the schema without
+	// moving any hash above.
+	pinned = append(pinned, []struct {
+		name string
+		req  Request
+		hash string
+	}{
+		{"cmp 2x2 shared", MixRequest(Figure2(2).WithCores(2).
+			WithHierarchy(64, SharedL2(256<<10, 8)), RunOpts{}),
+			"03c499234b2ed9d2c05d0c09c19d7c55cfcbdfb3beb67fb844d854d29da64002"},
+		{"cmp 2x1 private", MixRequest(Figure2(1).WithCores(2).
+			WithHierarchy(64, SharedL2(64<<10, 8)).WithPrivateHierarchy(), RunOpts{}),
+			"d90cf9c962b025ad0528bc1d7f09fec7bc2f19b3f2dd8f02919249697e496858"},
+	}...)
 	for _, p := range pinned {
 		if got := p.req.Hash(); got != p.hash {
 			t.Errorf("%s: hash %s, want pinned %s (cache schema broken)", p.name, got, p.hash)
 		}
+	}
+}
+
+// TestRequestCoresNormalization: one core IS the single-core machine —
+// an explicit Cores=1 canonicalizes to the zero value, so it cannot fork
+// the cache keyspace, and multi-core requests hash apart from their
+// single-core bases.
+func TestRequestCoresNormalization(t *testing.T) {
+	base := MixRequest(Figure2(2), RunOpts{})
+	one := MixRequest(Figure2(2).WithCores(1), RunOpts{})
+	if one.Hash() != base.Hash() {
+		t.Error("Cores=1 request hashes apart from the default single-core request")
+	}
+	two := MixRequest(Figure2(2).WithCores(2), RunOpts{})
+	if two.Hash() == base.Hash() {
+		t.Error("2-core request shares the single-core hash")
+	}
+	if !strings.Contains(two.label(), "cores=2") {
+		t.Errorf("multi-core label %q does not name the core count", two.label())
+	}
+	if strings.Contains(base.label(), "cores") {
+		t.Errorf("single-core label %q mentions cores", base.label())
 	}
 }
 
