@@ -46,6 +46,10 @@ func main() {
 		section2     = flag.Bool("section2", false, "use the paper's Section-2 machine (4-way, shared FUs, scaled queues)")
 		warmup       = flag.Int64("warmup", daesim.DefaultWarmup, "warm-up instructions (excluded from stats)")
 		measure      = flag.Int64("measure", daesim.DefaultMeasure, "measured instructions")
+		mode         = flag.String("mode", "exact", "execution mode: exact (detailed, bit-exact), adaptive (detailed, auto-tuned driver, bit-identical to exact) or sampled (SMARTS-style estimate with confidence interval)")
+		samplePeriod = flag.Int64("sample-period", 0, "sampled mode: sampling period in instructions (0 = default "+fmt.Sprint(sim.DefaultSamplingPeriod)+")")
+		sampleUnit   = flag.Int64("sample-unit", 0, "sampled mode: measured unit length in instructions (0 = default "+fmt.Sprint(sim.DefaultSamplingUnit)+")")
+		sampleWarmup = flag.Int64("sample-warmup", 0, "sampled mode: detailed warm-up before each unit (0 = default "+fmt.Sprint(sim.DefaultSamplingWarmup)+")")
 		seed         = flag.Uint64("seed", 0, "workload seed")
 		forwarding   = flag.Bool("forwarding", false, "enable store-to-load forwarding in the SAQ")
 		fetchRR      = flag.Bool("fetch-rr", false, "use round-robin fetch instead of ICOUNT")
@@ -108,6 +112,16 @@ func main() {
 	defer stop()
 
 	opts := daesim.RunOpts{WarmupInsts: *warmup, MeasureInsts: *measure, Seed: *seed}
+	var sampling *daesim.Sampling
+	if *mode == daesim.ModeSampled {
+		sampling = &daesim.Sampling{
+			PeriodInsts: *samplePeriod,
+			UnitInsts:   *sampleUnit,
+			WarmupInsts: *sampleWarmup,
+		}
+	} else if *samplePeriod != 0 || *sampleUnit != 0 || *sampleWarmup != 0 {
+		fail(fmt.Errorf("-sample-* flags require -mode sampled"))
+	}
 	var (
 		rep daesim.Report
 		err error
@@ -116,13 +130,19 @@ func main() {
 		if *hashOnly || *requestOut {
 			fail(fmt.Errorf("-hash/-request require a synthetic workload (trace files are not content-addressed)"))
 		}
-		rep, err = runFromFiles(ctx, m, strings.Split(*traceFiles, ","), opts)
+		rep, err = runFromFiles(ctx, m, strings.Split(*traceFiles, ","), opts, *mode, sampling)
 	} else {
 		req := daesim.MixRequest(m, opts)
 		what := "mix"
 		if *bench != "" {
 			req = daesim.BenchmarkRequest(*bench, m, opts)
 			what = *bench
+		}
+		req.Budget.Mode = *mode
+		req.Budget.Sampling = sampling
+		req = req.Normalized()
+		if err := req.Validate(); err != nil {
+			fail(err)
 		}
 		memDesc := fmt.Sprintf("L2=%d", m.Mem.L2Latency)
 		if *l2Size > 0 {
@@ -180,7 +200,7 @@ func runRequest(ctx context.Context, req daesim.Request, cacheDir string) (daesi
 // runFromFiles drives the machine with pre-recorded trace files (one per
 // thread), as produced by `dae-trace gen`. Finite traces run to
 // completion; the measurement window still applies if smaller.
-func runFromFiles(ctx context.Context, m daesim.Machine, paths []string, opts daesim.RunOpts) (daesim.Report, error) {
+func runFromFiles(ctx context.Context, m daesim.Machine, paths []string, opts daesim.RunOpts, mode string, sampling *daesim.Sampling) (daesim.Report, error) {
 	if len(paths) != m.TotalContexts() {
 		return daesim.Report{}, fmt.Errorf("%d trace files for %d contexts", len(paths), m.TotalContexts())
 	}
@@ -211,9 +231,29 @@ func runFromFiles(ctx context.Context, m daesim.Machine, paths []string, opts da
 		WarmupInsts:  opts.WarmupInsts,
 		MeasureInsts: opts.MeasureInsts,
 		MaxCycles:    opts.MaxCycles,
+		Mode:         simMode(mode),
+		Sampling:     simSampling(sampling),
 	})
 	if err != nil {
 		return daesim.Report{}, err
 	}
 	return res.Report, nil
+}
+
+func simMode(mode string) sim.Mode {
+	if mode == daesim.ModeExact {
+		return sim.ModeExact
+	}
+	return sim.Mode(mode)
+}
+
+func simSampling(s *daesim.Sampling) sim.Sampling {
+	if s == nil {
+		return sim.Sampling{}
+	}
+	return sim.Sampling{
+		PeriodInsts: s.PeriodInsts,
+		UnitInsts:   s.UnitInsts,
+		WarmupInsts: s.WarmupInsts,
+	}
 }

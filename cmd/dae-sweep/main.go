@@ -274,6 +274,7 @@ var figureCatalog = []struct{ key, desc string }{
 	{"a7", "Ablation A7: issue priority and branch predictor (4 threads, L2=16)"},
 	{"i1", "Ablation I1: shared-L2 interference — IPC and per-thread L2 miss ratio vs contexts at several finite L2 sizes (L2+DRAM hierarchy)"},
 	{"c1", "Figure C1: CMP scaling — aggregate IPC vs cores × contexts, shared vs private L2, cross-core interference"},
+	{"s1", "Study S1: sampled vs exact — IPC error, confidence intervals and wall-clock speedup on the four figure configs"},
 }
 
 // listFigures renders the catalog.
@@ -430,6 +431,16 @@ func sweep(fig string, budget experiments.Budget, csvDir string, stdout, stderr 
 			return err
 		}
 		if err := saveCSV(csvDir, "c1.csv", r, stderr); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, r.Table())
+	}
+	if want("s1") {
+		r, err := experiments.S1(budget)
+		if err != nil {
+			return err
+		}
+		if err := saveCSV(csvDir, "s1.csv", r, stderr); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, r.Table())

@@ -70,6 +70,10 @@ type Core struct {
 	// progress is provably identical to every following cycle up to the
 	// next scheduled event, which is what lets Step fast-forward.
 	progressed bool
+	// fetchFrozen suspends the fetch stage while DrainPipeline empties
+	// the machine to the architectural boundary a functional warp
+	// resumes from. Never set during exact or adaptive execution.
+	fetchFrozen bool
 	// dispatchStallDelta and conflictStallDelta are the last Tick's
 	// increments of the corresponding collector counters, replayed per
 	// skipped cycle by fastForward.
@@ -638,13 +642,12 @@ func (c *Core) tryDispatch(ctx *Context, d *DynInst) bool {
 	if d.Dest.Valid() && ctx.file(destFile).FreeCount() == 0 {
 		return false
 	}
-	// All resources available: rename.
+	// All resources available: rename. (The source-file classification
+	// already happened at fetch, fused with steering.)
 	if d.Src1.Valid() {
-		d.Src1File = isa.RegUnit(d.Src1)
 		d.PSrc1 = ctx.Map.Get(d.Src1)
 	}
 	if d.Src2.Valid() {
-		d.Src2File = isa.RegUnit(d.Src2)
 		d.PSrc2 = ctx.Map.Get(d.Src2)
 	}
 	if d.Dest.Valid() {
@@ -678,6 +681,9 @@ func (c *Core) tryDispatch(ctx *Context, d *DynInst) bool {
 // at a predicted-taken branch, a full buffer, the control-speculation
 // limit, or a misprediction (which freezes the thread until resolution).
 func (c *Core) fetch() {
+	if c.fetchFrozen {
+		return
+	}
 	c.fetchPick = c.fetchPick[:0]
 	rot := c.rotStart()
 	for k := 0; k < len(c.ctxs); k++ {
@@ -752,8 +758,13 @@ func (c *Core) fetchThread(ctx *Context) {
 		d.Thread = ctx.ID
 		d.Seq = ctx.NextSeq
 		ctx.NextSeq++
+		// Classify once at fetch, all from the shared tables: executing
+		// unit, destination file, and both source files (RegUnit maps
+		// NoReg to AP, which is never consulted — PSrc stays None).
 		d.Unit = isa.Steer(&d.Inst)
 		d.DestFile = isa.DestUnit(&d.Inst)
+		d.Src1File = isa.RegUnit(d.Inst.Src1)
+		d.Src2File = isa.RegUnit(d.Inst.Src2)
 		ctx.FetchBuf.Push(d)
 		c.progressed = true
 		c.col.FetchedInsts++

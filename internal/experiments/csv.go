@@ -144,6 +144,28 @@ func (r *C1Result) WriteCSV(w io.Writer) error {
 	return writeCSV(w, header, rows)
 }
 
+// WriteCSV emits the S1 study in long form:
+// config,threads,l2,exact_ipc,sampled_ipc,ci,units,err_pct,in_ci,exact_ms,sampled_ms,speedup
+// (the wall-clock columns are measured per run and are NOT deterministic;
+// the determinism gate hashes only the simulation reports).
+func (r *S1Result) WriteCSV(w io.Writer) error {
+	header := []string{"config", "threads", "l2", "exact_ipc", "sampled_ipc", "ci", "units", "err_pct", "in_ci", "exact_ms", "sampled_ms", "speedup"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Config,
+			strconv.Itoa(p.Threads),
+			strconv.FormatInt(p.L2, 10),
+			fs(p.ExactIPC), fs(p.SampledIPC), fs(p.CI),
+			strconv.Itoa(p.Units),
+			fs(p.ErrPct),
+			strconv.FormatBool(p.InCI),
+			fs(p.ExactWall.Seconds() * 1e3), fs(p.SampledWall.Seconds() * 1e3), fs(p.Speedup),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
 // WriteCSV emits the interference grid in long form:
 // l2_bytes,threads,ipc,l2_miss,mem_bus_util
 func (r *InterferenceResult) WriteCSV(w io.Writer) error {

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testSampling shrinks the sampling period so the quick test budgets
+// still yield several measured units per configuration (the committed
+// figure uses the defaults over budgets two orders of magnitude larger).
+// Like the default period, it is incommensurate with the mix's 40k
+// rotation.
+var testSampling = sim.Sampling{PeriodInsts: 9_700, UnitInsts: 500, WarmupInsts: 1_000}
+
+func TestS1Structure(t *testing.T) {
+	r, err := S1Sampled(testBudget(), testSampling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != len(S1Configs) {
+		t.Fatalf("%d points, want %d", len(r.Points), len(S1Configs))
+	}
+	for _, p := range r.Points {
+		if p.ExactIPC <= 0 || p.SampledIPC <= 0 {
+			t.Errorf("%s: non-positive IPC (exact %.3f, sampled %.3f)", p.Config, p.ExactIPC, p.SampledIPC)
+		}
+		if p.CI < 0 {
+			t.Errorf("%s: negative CI %.4f", p.Config, p.CI)
+		}
+		if p.Units < 1 {
+			t.Errorf("%s: no measured units", p.Config)
+		}
+		if quant() && p.Units < 2 {
+			t.Errorf("%s: %d units — the test sampling should yield several at QuickBudget", p.Config, p.Units)
+		}
+	}
+	for _, want := range []string{"Study S1", "1T-L2_16", "4T-L2_256", "speedup", "in CI"} {
+		if !strings.Contains(r.Table(), want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+
+	// The quantitative honesty check: the sampled estimate's error against
+	// the exact run must lie inside the estimate's own 95% confidence
+	// interval. Deterministic — fixed workloads, fixed schedule — so this
+	// either always passes or always fails for a given parameterization.
+	if quant() {
+		for _, p := range r.Points {
+			if !p.InCI {
+				t.Errorf("%s: |error| %.2f%% outside the reported 95%% CI (sampled %.3f ±%.3f, exact %.3f, %d units)",
+					p.Config, p.ErrPct, p.SampledIPC, p.CI, p.ExactIPC, p.Units)
+			}
+		}
+	}
+}
+
+func TestS1CSV(t *testing.T) {
+	r, err := S1Sampled(testBudget(), testSampling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(r.Points) {
+		t.Fatalf("%d CSV lines, want %d", len(lines), 1+len(r.Points))
+	}
+	if !strings.HasPrefix(lines[0], "config,threads,l2,exact_ipc,sampled_ipc,ci,units,err_pct,in_ci") {
+		t.Errorf("unexpected CSV header: %s", lines[0])
+	}
+}
+
+func TestS1RejectsBadSampling(t *testing.T) {
+	if _, err := S1Sampled(testBudget(), sim.Sampling{PeriodInsts: 100, UnitInsts: 90, WarmupInsts: 20}); err == nil {
+		t.Error("unit+warmup exceeding the period accepted")
+	}
+}

@@ -175,34 +175,41 @@ func (i *Inst) IsStore() bool { return i.Op == OpStore }
 // IsBranch reports whether the instruction is a conditional branch.
 func (i *Inst) IsBranch() bool { return i.Op == OpBranch }
 
+// Classification tables. Steering, destination-file and register-file
+// lookups run once per fetched instruction (several calls each in the
+// fetch/rename path), so they are 256-entry tables indexed by the raw
+// byte: branch-free, bounds-check-free (every uint8 is in range), and
+// shared by every core of a CMP.
+var (
+	// steerTable maps Op → executing unit (only OpFPALU steers EP).
+	steerTable = [256]Unit{OpFPALU: EP}
+	// regUnitTable maps Reg → hosting file: EP for F0..F31, AP for the
+	// integer registers and for NoReg/invalid encodings (matching the
+	// "AP unless a valid FP register" rule the branchy code spelled out).
+	regUnitTable = buildRegUnitTable()
+)
+
+func buildRegUnitTable() [256]Unit {
+	var t [256]Unit
+	for r := NumIntRegs; r < NumRegs; r++ {
+		t[r] = EP
+	}
+	return t
+}
+
 // Steer returns the unit the instruction is dispatched to under the
 // paper's data-type steering: memory instructions and branches go to the
 // AP, floating-point computation to the EP, everything else to the AP.
-func Steer(i *Inst) Unit {
-	if i.Op == OpFPALU {
-		return EP
-	}
-	return AP
-}
+func Steer(i *Inst) Unit { return steerTable[i.Op] }
 
 // DestUnit returns the unit whose physical register file hosts the
 // destination register: EP for floating-point destinations, AP otherwise.
 // A floating-point load therefore executes in the AP but writes an EP
 // register — the mechanism that lets the AP run ahead of the EP.
-func DestUnit(i *Inst) Unit {
-	if i.Dest.Valid() && i.Dest.IsFP() {
-		return EP
-	}
-	return AP
-}
+func DestUnit(i *Inst) Unit { return regUnitTable[i.Dest] }
 
 // RegUnit returns the unit whose file hosts logical register r.
-func RegUnit(r Reg) Unit {
-	if r.IsFP() {
-		return EP
-	}
-	return AP
-}
+func RegUnit(r Reg) Unit { return regUnitTable[r] }
 
 func (i *Inst) String() string {
 	switch i.Op {

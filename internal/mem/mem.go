@@ -323,6 +323,22 @@ func (s *System) L1LevelStats(end, window int64) LevelStats {
 // MSHRsInUse returns the number of occupied L1 MSHRs.
 func (s *System) MSHRsInUse() int { return s.l1.mshrsInUse }
 
+// Quiescent reports whether no miss is in flight at the L1 or at any
+// finite level below it (this core's view, for CMP machines): the
+// memory-side half of the drained-machine condition sampled execution
+// warps from.
+func (s *System) Quiescent() bool {
+	if s.l1.mshrsInUse > 0 {
+		return false
+	}
+	for _, l := range s.warmChain() {
+		if l.mshrsInUse > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // SetFillScheduler registers fn to be called with every future fill
 // cycle a shared level books. The core registers its event calendar
 // here, so fast-forwarding never skips the cycle at which a shared

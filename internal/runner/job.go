@@ -80,6 +80,18 @@ type Budget struct {
 	MeasureInsts int64
 	// MaxCycles caps the run (0 = sim.DefaultMaxCycles).
 	MaxCycles int64
+	// Mode selects the execution mode (sim.Mode; empty = exact). Both
+	// new fields are omitempty so every pre-existing exact-mode job
+	// hashes exactly as it did before modes existed, keeping on-disk
+	// cache entries valid. Adaptive runs are bit-identical to exact ones
+	// but hash distinctly: the cache never has to trust that equivalence,
+	// it only ever replays what that mode actually produced.
+	Mode sim.Mode `json:",omitempty"`
+	// Sampling parameterizes sampled mode. Callers must spell the
+	// parameters out (daesim.Request.Normalized resolves the defaults),
+	// so a job's hash never depends on which sim version's defaults were
+	// compiled in. Nil for exact and adaptive jobs.
+	Sampling *sim.Sampling `json:",omitempty"`
 }
 
 // Job describes one simulation point. Jobs are pure data: everything a
@@ -144,6 +156,21 @@ func (j Job) Validate() error {
 	if j.Budget.MeasureInsts <= 0 {
 		return fmt.Errorf("runner: job %q: non-positive measurement budget", j.Key)
 	}
+	switch j.Budget.Mode {
+	case sim.ModeExact, sim.ModeAdaptive:
+		if j.Budget.Sampling != nil {
+			return fmt.Errorf("runner: job %q: sampling parameters without sampled mode", j.Key)
+		}
+	case sim.ModeSampled:
+		if j.Budget.Sampling == nil {
+			return fmt.Errorf("runner: job %q: sampled mode without sampling parameters", j.Key)
+		}
+		if err := j.Budget.Sampling.Validate(); err != nil {
+			return fmt.Errorf("runner: job %q: %w", j.Key, err)
+		}
+	default:
+		return fmt.Errorf("runner: job %q: unknown execution mode %q", j.Key, j.Budget.Mode)
+	}
 	if err := j.Machine.Validate(); err != nil {
 		return fmt.Errorf("runner: job %q: %w", j.Key, err)
 	}
@@ -202,15 +229,20 @@ func (j Job) Execute(ctx context.Context, onProgress func(sim.Snapshot), every i
 	if err != nil {
 		return stats.Report{}, fmt.Errorf("runner: job %q: %w", j.Key, err)
 	}
-	res, err := sim.Run(ctx, sim.Options{
+	o := sim.Options{
 		Machine:       j.Machine,
 		Sources:       srcs,
 		WarmupInsts:   j.Budget.WarmupInsts,
 		MeasureInsts:  j.Budget.MeasureInsts,
 		MaxCycles:     j.Budget.MaxCycles,
+		Mode:          j.Budget.Mode,
 		OnProgress:    onProgress,
 		ProgressEvery: every,
-	})
+	}
+	if j.Budget.Sampling != nil {
+		o.Sampling = *j.Budget.Sampling
+	}
+	res, err := sim.Run(ctx, o)
 	if err != nil {
 		return stats.Report{}, fmt.Errorf("runner: job %q: %w", j.Key, err)
 	}

@@ -392,3 +392,56 @@ func TestRunEndpointCMPRequest(t *testing.T) {
 		t.Errorf("cache round-trip lost the CMP shape: %+v", again.Report)
 	}
 }
+
+// TestRunEndpointSampledRequest: a sampled-mode request passes through
+// the service — normalized hash (defaults spelled out), a Sampled
+// summary in the report, exact mode untouched in its own keyspace, and
+// invalid mode/sampling combinations mapping to 400s.
+func TestRunEndpointSampledRequest(t *testing.T) {
+	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 1}, 0)
+	req := daesim.MixRequest(daesim.Figure2(1), daesim.RunOpts{WarmupInsts: 500, MeasureInsts: 100_000})
+	req.Budget.Mode = daesim.ModeSampled
+	req.Budget.Sampling = &daesim.Sampling{PeriodInsts: 10_000, UnitInsts: 500, WarmupInsts: 1_000}
+
+	var rr RunResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/runs", req, &rr); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if rr.Hash != req.Normalized().Hash() {
+		t.Errorf("served hash %s, want normalized %s", rr.Hash, req.Normalized().Hash())
+	}
+	if rr.Report == nil || rr.Report.Sampled == nil {
+		t.Fatalf("sampled report missing its summary: %+v", rr.Report)
+	}
+	if rr.Report.Sampled.Units < 2 || rr.Report.Sampled.Mean <= 0 {
+		t.Errorf("degenerate sampling summary: %+v", rr.Report.Sampled)
+	}
+
+	// The sampled request must not collide with the exact keyspace.
+	exact := daesim.MixRequest(daesim.Figure2(1), daesim.RunOpts{WarmupInsts: 500, MeasureInsts: 100_000})
+	if rr.Hash == exact.Hash() {
+		t.Error("sampled request shares the exact request's hash")
+	}
+
+	// Cache round-trip keeps the sampling summary.
+	var again RunResponse
+	if code := do(t, http.MethodGet, ts.URL+"/v1/runs/"+rr.Hash, nil, &again); code != http.StatusOK {
+		t.Fatalf("GET by hash status %d", code)
+	}
+	if !again.Cached || again.Report.Sampled == nil || again.Report.Sampled.Units != rr.Report.Sampled.Units {
+		t.Errorf("cache round-trip lost the sampling summary: %+v", again.Report)
+	}
+
+	// Validation failures surface as 400s, not 500s.
+	bad := req
+	bad.Budget.Sampling = &daesim.Sampling{PeriodInsts: 500, UnitInsts: 400, WarmupInsts: 200}
+	var er ErrorResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/runs", bad, &er); code != http.StatusBadRequest {
+		t.Fatalf("invalid sampling: status %d, want 400", code)
+	}
+	stray := daesim.MixRequest(daesim.Figure2(1), daesim.RunOpts{WarmupInsts: 500, MeasureInsts: 2_000})
+	stray.Budget.Sampling = &daesim.Sampling{PeriodInsts: 1_000, UnitInsts: 100, WarmupInsts: 100}
+	if code := do(t, http.MethodPost, ts.URL+"/v1/runs", stray, &er); code != http.StatusBadRequest {
+		t.Fatalf("stray sampling outside sampled mode: status %d, want 400", code)
+	}
+}

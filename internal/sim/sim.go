@@ -2,6 +2,22 @@
 // configuration and per-thread instruction sources, runs a warm-up window
 // (the paper skips each benchmark's start-up phase), resets the statistics,
 // runs the measurement window, and produces the final report.
+//
+// Three execution modes cover the speed/fidelity lattice (DESIGN.md §10):
+//
+//   - exact (the default): every cycle of the measurement is simulated in
+//     detail, fast-forwarding over provably idle stretches via the event
+//     calendar. Bit-identical to cycle-by-cycle stepping.
+//   - adaptive: the same detailed simulation, but a per-window controller
+//     watches the realized skip rate and falls back to plain stepping when
+//     fast-forwarding cannot pay for its bookkeeping. Bit-identical to
+//     exact by construction — the controller only chooses which driver
+//     advances the clock.
+//   - sampled: SMARTS-style systematic sampling — short detailed units
+//     spread over the instruction budget, separated by functional warp
+//     gaps (architectural state only) and detailed re-warm windows. An
+//     estimate, not an exact result: the report carries the per-unit mean
+//     IPC and its 95% confidence interval in Report.Sampled.
 package sim
 
 import (
@@ -9,10 +25,83 @@ import (
 	"fmt"
 
 	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
+
+// Mode selects how a run advances the machine.
+type Mode string
+
+// Execution modes. The zero value is exact execution, so existing
+// callers (and serialized requests) are unchanged.
+const (
+	// ModeExact is full detailed simulation with calendar fast-forward.
+	ModeExact Mode = ""
+	// ModeAdaptive is detailed simulation with the per-window
+	// fast-forward/stepping controller. Bit-identical to ModeExact.
+	ModeAdaptive Mode = "adaptive"
+	// ModeSampled is SMARTS-style systematic sampling: estimative, with
+	// confidence intervals in Report.Sampled.
+	ModeSampled Mode = "sampled"
+)
+
+// Sampling parameterizes ModeSampled: every PeriodInsts instructions, one
+// detailed unit of UnitInsts is measured after a detailed warm-up of
+// WarmupInsts; the rest of the period is functionally warped.
+type Sampling struct {
+	// PeriodInsts is the sampling period (0 = DefaultSamplingPeriod).
+	PeriodInsts int64
+	// UnitInsts is the measured unit length (0 = DefaultSamplingUnit).
+	UnitInsts int64
+	// WarmupInsts is the detailed warm-up run before each unit
+	// (0 = DefaultSamplingWarmup; it cannot be disabled — warming is what
+	// bounds the cold-pipeline bias).
+	WarmupInsts int64
+}
+
+// Default sampling parameters: 2k-instruction units every 197k
+// instructions with a 4k detailed re-warm — a ~3% detailed duty cycle, in
+// the regime SMARTS showed keeps IPC error in the low percents for
+// steady-state workloads. The period is deliberately *not* a round
+// number: systematic sampling aliases badly when the period is
+// commensurate with a workload's own periodicity (the built-in mix
+// rotates benchmarks every 40k instructions, so a 200k period would pin
+// every unit to a single phase offset forever). 197_000 shares only a
+// factor of 1000 with such round periodicities, so successive units
+// stride through the phases instead.
+const (
+	DefaultSamplingPeriod = 197_000
+	DefaultSamplingUnit   = 2_000
+	DefaultSamplingWarmup = 4_000
+)
+
+// withDefaults resolves zero fields to the documented defaults.
+func (s Sampling) WithDefaults() Sampling {
+	if s.PeriodInsts == 0 {
+		s.PeriodInsts = DefaultSamplingPeriod
+	}
+	if s.UnitInsts == 0 {
+		s.UnitInsts = DefaultSamplingUnit
+	}
+	if s.WarmupInsts == 0 {
+		s.WarmupInsts = DefaultSamplingWarmup
+	}
+	return s
+}
+
+// Validate checks the resolved sampling parameters.
+func (s Sampling) Validate() error {
+	s = s.WithDefaults()
+	switch {
+	case s.PeriodInsts < 0 || s.UnitInsts < 0 || s.WarmupInsts < 0:
+		return fmt.Errorf("sim: negative sampling parameter (period=%d unit=%d warmup=%d)",
+			s.PeriodInsts, s.UnitInsts, s.WarmupInsts)
+	case s.UnitInsts+s.WarmupInsts > s.PeriodInsts:
+		return fmt.Errorf("sim: sampling unit+warmup (%d+%d) exceed the period (%d)",
+			s.UnitInsts, s.WarmupInsts, s.PeriodInsts)
+	}
+	return nil
+}
 
 // Options configures one simulation run.
 type Options struct {
@@ -24,15 +113,26 @@ type Options struct {
 	// statistics are reset (cache warm-up / benchmark start-up skip).
 	WarmupInsts int64
 	// MeasureInsts is the number of graduated instructions in the
-	// measurement window. Zero measures until the sources drain.
+	// measurement window. Zero measures until the sources drain (exact
+	// and adaptive modes only; sampled mode needs a finite budget). In
+	// sampled mode it is the *total* instruction budget the sampling
+	// schedule covers — measured, re-warmed and warped together.
 	MeasureInsts int64
 	// MaxCycles caps the total simulation length as a safety net;
 	// zero applies DefaultMaxCycles.
 	MaxCycles int64
+	// Mode selects the execution mode; the zero value is exact detailed
+	// simulation ("exact" is accepted as a spelled-out synonym).
+	Mode Mode
+	// Sampling parameterizes ModeSampled (ignored otherwise; zero fields
+	// take the documented defaults).
+	Sampling Sampling
 	// Stepped forces cycle-by-cycle simulation, disabling the core's
 	// event-calendar fast-forward over idle stretches. Results are
 	// bit-identical either way (enforced by the equivalence tests);
-	// stepping exists as the golden reference and for debugging.
+	// stepping exists as the golden reference and for debugging. It
+	// overrides ModeAdaptive, and in ModeSampled it steps the detailed
+	// phases.
 	Stepped bool
 	// OnProgress, when set, receives a Snapshot roughly every
 	// ProgressEvery graduated instructions (and once at each window
@@ -92,99 +192,32 @@ type Result struct {
 // (the loop polls the context every few hundred scheduler steps) and
 // returns ctx's error; cancellation never produces a partial Result.
 func Run(ctx context.Context, opts Options) (Result, error) {
-	if opts.Machine.Effective().CoreCount() > 1 {
-		return runCMP(ctx, opts)
+	mode := opts.Mode
+	if mode == "exact" {
+		mode = ModeExact
 	}
-	c, err := core.New(opts.Machine, opts.Sources)
+	switch mode {
+	case ModeExact, ModeAdaptive, ModeSampled:
+	default:
+		return Result{}, fmt.Errorf("sim: unknown execution mode %q", opts.Mode)
+	}
+	if mode == ModeSampled {
+		if err := opts.Sampling.Validate(); err != nil {
+			return Result{}, err
+		}
+		if opts.MeasureInsts <= 0 {
+			return Result{}, fmt.Errorf("sim: sampled mode needs a positive instruction budget")
+		}
+	}
+	m, err := build(opts.Machine, opts.Sources)
 	if err != nil {
 		return Result{}, err
 	}
-	maxCycles := opts.MaxCycles
-	if maxCycles <= 0 {
-		maxCycles = DefaultMaxCycles
+	r := newRunner(ctx, opts, mode, m)
+	if mode == ModeSampled {
+		return r.runSampled()
 	}
-	every := opts.ProgressEvery
-	if every <= 0 {
-		every = DefaultProgressEvery
-	}
-	var polls int64
-	snapshot := func(phase string, target int64) Snapshot {
-		return Snapshot{
-			Phase:       phase,
-			Graduated:   c.Collector().Graduated,
-			TargetInsts: target,
-			Cycles:      c.Collector().Cycles,
-			TotalCycles: c.Now(),
-		}
-	}
-	// step advances the machine, fast-forwarding over idle stretches
-	// unless stepping was requested. The loop conditions below only depend
-	// on state that is frozen during a skip (graduation counts, Done, the
-	// cycle bound the skip is clamped to), so both modes take the same
-	// path through every window boundary.
-	step := c.Tick
-	if !opts.Stepped {
-		step = func() { c.Step(maxCycles) }
-	}
-
-	// Warm-up window.
-	completed := true
-	nextSnap := every
-	for c.Collector().Graduated < opts.WarmupInsts && !c.Done() {
-		if c.Now() >= maxCycles {
-			completed = false
-			break
-		}
-		if polls++; polls&cancelPollMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return Result{}, err
-			}
-		}
-		if opts.OnProgress != nil && c.Collector().Graduated >= nextSnap {
-			opts.OnProgress(snapshot(PhaseWarmup, opts.WarmupInsts))
-			nextSnap = c.Collector().Graduated + every
-		}
-		step()
-	}
-	// Reset measurement state; machine state (caches, queues, in-flight
-	// instructions) carries over, which is the point of warming up.
-	c.Collector().Reset()
-	c.Mem().ResetStats()
-
-	// Measurement window.
-	nextSnap = every
-	for (opts.MeasureInsts <= 0 || c.Collector().Graduated < opts.MeasureInsts) && !c.Done() {
-		if c.Now() >= maxCycles {
-			completed = false
-			break
-		}
-		if polls++; polls&cancelPollMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return Result{}, err
-			}
-		}
-		if opts.OnProgress != nil && c.Collector().Graduated >= nextSnap {
-			opts.OnProgress(snapshot(PhaseMeasure, opts.MeasureInsts))
-			nextSnap = c.Collector().Graduated + every
-		}
-		step()
-	}
-	if opts.OnProgress != nil {
-		// Window-boundary snapshot: the final measurement counts.
-		opts.OnProgress(snapshot(PhaseMeasure, opts.MeasureInsts))
-	}
-
-	col := *c.Collector()
-	rep := stats.Report{
-		Collector:      col,
-		Mem:            c.Mem().Stats(),
-		BusUtilization: c.Mem().Bus().Utilization(c.Now(), col.Cycles),
-		Threads:        c.Config().Threads,
-		Decoupled:      c.Config().Decoupled,
-		L2Latency:      c.Config().Mem.L2Latency,
-		MemLevels:      c.Mem().LevelStats(c.Now(), col.Cycles),
-	}
-	return Result{Report: rep, Completed: completed, TotalCycles: c.Now()}, nil
+	return r.runDetailed()
 }
 
 // RunOrDie is a convenience for examples and tools: it runs and panics on

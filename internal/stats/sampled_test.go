@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Hand-computed references for the sampling statistics. Tolerances are
+// tight (1e-12): the formulas are closed-form and the inputs exact.
+
+func near(a, b float64) bool { return math.Abs(a-b) <= 1e-12 }
+
+func TestSummarizeHandComputed(t *testing.T) {
+	// Samples 1, 2, 3, 4: mean 2.5, sample variance ((1.5² + 0.5²)×2)/3
+	// = 5/3, stderr = sqrt(5/3/4) = sqrt(5/12), CI = 1.96·sqrt(5/12).
+	s := Summarize([]float64{1, 2, 3, 4})
+	if !near(s.Mean, 2.5) {
+		t.Errorf("mean = %v, want 2.5", s.Mean)
+	}
+	wantCI := 1.96 * math.Sqrt(5.0/12.0)
+	if !near(s.CI, wantCI) {
+		t.Errorf("CI = %v, want %v", s.CI, wantCI)
+	}
+	if s.Units != 4 {
+		t.Errorf("units = %d, want 4", s.Units)
+	}
+}
+
+func TestSummarizeTwoSamples(t *testing.T) {
+	// Samples 2, 4: mean 3, variance (1+1)/1 = 2, stderr = 1,
+	// CI = 1.96.
+	s := Summarize([]float64{2, 4})
+	if !near(s.Mean, 3) || !near(s.CI, 1.96) || s.Units != 2 {
+		t.Errorf("got %+v, want mean 3, CI 1.96, units 2", s)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s.Mean != 0 || s.CI != 0 || s.Units != 0 {
+		t.Errorf("empty: %+v, want zeros", s)
+	}
+	// A single unit has a defined mean but no spread estimate.
+	if s := Summarize([]float64{1.7}); !near(s.Mean, 1.7) || s.CI != 0 || s.Units != 1 {
+		t.Errorf("single: %+v, want mean 1.7, CI 0", s)
+	}
+	// Zero variance: identical samples, CI exactly 0.
+	if s := Summarize([]float64{2, 2, 2, 2, 2}); !near(s.Mean, 2) || s.CI != 0 || s.Units != 5 {
+		t.Errorf("constant: %+v, want mean 2, CI 0", s)
+	}
+}
+
+func TestSummarizeCPIHandComputed(t *testing.T) {
+	// CPI samples 0.5, 1.0, 1.5: mean CPI 1.0 → IPC estimate 1.0.
+	// Sample variance = (0.25+0+0.25)/2 = 0.25, stderr = sqrt(0.25/3),
+	// CI_CPI = 1.96·sqrt(1/12); delta method divides by meanCPI² = 1.
+	s := SummarizeCPI([]float64{0.5, 1.0, 1.5})
+	if !near(s.Mean, 1.0) {
+		t.Errorf("mean = %v, want 1", s.Mean)
+	}
+	wantCI := 1.96 * math.Sqrt(0.25/3.0)
+	if !near(s.CI, wantCI) {
+		t.Errorf("CI = %v, want %v", s.CI, wantCI)
+	}
+	if s.Units != 3 {
+		t.Errorf("units = %d, want 3", s.Units)
+	}
+}
+
+func TestSummarizeCPIDeltaMethod(t *testing.T) {
+	// CPI samples 2, 4: mean CPI 3 → IPC 1/3; CI_CPI = 1.96 (see the
+	// two-sample case) → CI_IPC = 1.96/9.
+	s := SummarizeCPI([]float64{2, 4})
+	if !near(s.Mean, 1.0/3.0) || !near(s.CI, 1.96/9.0) {
+		t.Errorf("got mean %v CI %v, want 1/3 and 1.96/9", s.Mean, s.CI)
+	}
+}
+
+func TestSummarizeCPIJensenDirection(t *testing.T) {
+	// The whole point of estimating in the CPI domain: with varying unit
+	// latencies, mean of per-unit IPCs overestimates aggregate IPC. The
+	// CPI-domain estimate must come out strictly below the naive mean.
+	cpis := []float64{0.5, 2.0} // IPCs 2.0 and 0.5
+	naive := Summarize([]float64{2.0, 0.5}).Mean
+	cpi := SummarizeCPI(cpis).Mean
+	if !(cpi < naive) {
+		t.Errorf("CPI-domain estimate %v not below naive IPC mean %v", cpi, naive)
+	}
+	if !near(cpi, 0.8) { // 1 / ((0.5+2)/2)
+		t.Errorf("CPI-domain estimate = %v, want 0.8", cpi)
+	}
+}
+
+func TestSummarizeCPIDegenerate(t *testing.T) {
+	if s := SummarizeCPI(nil); s.Mean != 0 || s.CI != 0 || s.Units != 0 {
+		t.Errorf("empty: %+v, want zeros", s)
+	}
+	if s := SummarizeCPI([]float64{0.25}); !near(s.Mean, 4) || s.CI != 0 || s.Units != 1 {
+		t.Errorf("single: %+v, want mean 4, CI 0", s)
+	}
+}
+
+func TestCollectorMergeSumsCycles(t *testing.T) {
+	a := Collector{Cycles: 100, Graduated: 50}
+	b := Collector{Cycles: 30, Graduated: 20}
+	a.Merge(&b)
+	if a.Cycles != 130 || a.Graduated != 70 {
+		t.Errorf("merged cycles=%d graduated=%d, want 130/70", a.Cycles, a.Graduated)
+	}
+}

@@ -226,6 +226,11 @@ type Report struct {
 	// PerCoreGraduated breaks retirement down by core on CMP machines
 	// (nil on single-core machines).
 	PerCoreGraduated []int64 `json:",omitempty"`
+	// Sampled summarizes the per-unit IPC samples of a sampled-mode run
+	// (mean, 95% confidence half-width, unit count). Nil — and omitted
+	// from the JSON encoding, pinning exact-mode report hashes — for
+	// exact and adaptive runs, whose counters cover every instruction.
+	Sampled *Sampled `json:",omitempty"`
 }
 
 // String renders a human-readable multi-line summary.
@@ -244,6 +249,10 @@ func (r Report) String() string {
 	}
 	fmt.Fprintf(&b, "threads=%d mode=%s %s cycles=%d insts=%d IPC=%.3f\n",
 		r.Threads, mode, memDesc, r.Cycles, r.Graduated, r.IPC())
+	if s := r.Sampled; s != nil {
+		fmt.Fprintf(&b, "sampled: IPC=%.3f ±%.3f (95%% CI, %d units, %d insts warped)\n",
+			s.Mean, s.CI, s.Units, s.WarpedInsts)
+	}
 	fmt.Fprintf(&b, "perceived load-miss latency: fp=%.2f (n=%d) int=%.2f (n=%d) all=%.2f\n",
 		r.PerceivedFP.Mean(), r.PerceivedFP.Count,
 		r.PerceivedInt.Mean(), r.PerceivedInt.Count,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -38,14 +39,50 @@ type Workload struct {
 	Seed uint64 `json:"seed,omitempty"`
 }
 
+// Execution modes a Request can ask for (Budget.Mode).
+const (
+	// ModeExact is full detailed simulation (the default; an empty mode
+	// normalizes to it, and "exact" spelled out hashes identically).
+	ModeExact = "exact"
+	// ModeAdaptive is detailed simulation with the per-window
+	// fast-forward/stepping controller — bit-identical results, usually
+	// faster wall-clock.
+	ModeAdaptive = "adaptive"
+	// ModeSampled is SMARTS-style systematic sampling: an IPC *estimate*
+	// with a 95% confidence interval in Report.Sampled, at a fraction of
+	// the detailed cost.
+	ModeSampled = "sampled"
+)
+
+// Sampling parameterizes ModeSampled. Zero fields normalize to the
+// simulator's documented defaults, spelled out — so a request relying on
+// defaults hashes identically to one writing them explicitly, and a
+// cached sampled result always records the exact schedule it ran.
+type Sampling struct {
+	// PeriodInsts is the sampling period in instructions.
+	PeriodInsts int64 `json:"periodInsts,omitempty"`
+	// UnitInsts is the measured unit length.
+	UnitInsts int64 `json:"unitInsts,omitempty"`
+	// WarmupInsts is the detailed warm-up before each unit.
+	WarmupInsts int64 `json:"warmupInsts,omitempty"`
+}
+
 // Budget is a Request's instruction budget in machine-wide totals.
 type Budget struct {
 	// WarmupInsts graduates before statistics reset (0 = DefaultWarmup).
 	WarmupInsts int64 `json:"warmupInsts"`
-	// MeasureInsts is the measurement window (0 = DefaultMeasure).
+	// MeasureInsts is the measurement window (0 = DefaultMeasure). In
+	// sampled mode it is the total instruction budget the sampling
+	// schedule covers.
 	MeasureInsts int64 `json:"measureInsts"`
 	// MaxCycles caps the run as a deadlock guard (0 = a large default).
 	MaxCycles int64 `json:"maxCycles,omitempty"`
+	// Mode selects the execution mode: ModeExact (default), ModeAdaptive
+	// or ModeSampled. Omitted — and normalized away for "exact" — so
+	// every pre-mode Request hashes exactly as it always did.
+	Mode string `json:"mode,omitempty"`
+	// Sampling parameterizes ModeSampled; it must be nil otherwise.
+	Sampling *Sampling `json:"sampling,omitempty"`
 }
 
 // Request is the canonical, JSON-serializable description of one
@@ -113,6 +150,29 @@ func (r Request) Normalized() Request {
 	if r.Budget.MeasureInsts == 0 {
 		r.Budget.MeasureInsts = DefaultMeasure
 	}
+	// Mode canonicalization: exact is the zero value ("exact" spelled out
+	// folds to it, pinning pre-mode request hashes), and sampled requests
+	// get their schedule spelled out in full so their hashes never depend
+	// on which simulator version's defaults were compiled in.
+	if r.Budget.Mode == ModeExact {
+		r.Budget.Mode = ""
+	}
+	if r.Budget.Mode == ModeSampled {
+		s := sim.Sampling{}
+		if r.Budget.Sampling != nil {
+			s = sim.Sampling{
+				PeriodInsts: r.Budget.Sampling.PeriodInsts,
+				UnitInsts:   r.Budget.Sampling.UnitInsts,
+				WarmupInsts: r.Budget.Sampling.WarmupInsts,
+			}
+		}
+		s = s.WithDefaults()
+		r.Budget.Sampling = &Sampling{
+			PeriodInsts: s.PeriodInsts,
+			UnitInsts:   s.UnitInsts,
+			WarmupInsts: s.WarmupInsts,
+		}
+	}
 	// Memory-hierarchy canonicalization: an empty-but-non-nil Hierarchy
 	// (a JSON "Hierarchy":[] round-trip) is the default flat model, and
 	// under a real hierarchy the flat L2 latency is meaningless — zero
@@ -149,6 +209,26 @@ func (r Request) Validate() error {
 		return invalid("negative cycle cap %d", n.Budget.MaxCycles)
 	case n.Workload.SegmentLen < 0:
 		return invalid("negative mix segment length %d", n.Workload.SegmentLen)
+	}
+	// Execution mode. Normalization already folded "exact" to "" and
+	// spelled out sampled schedules, so only the canonical forms remain.
+	switch n.Budget.Mode {
+	case "", ModeAdaptive:
+		if n.Budget.Sampling != nil {
+			return invalid("sampling parameters require sampled mode")
+		}
+	case ModeSampled:
+		s := n.Budget.Sampling
+		switch {
+		case s.PeriodInsts <= 0 || s.UnitInsts <= 0 || s.WarmupInsts < 0:
+			return invalid("non-positive sampling parameters (period=%d unit=%d warmup=%d)",
+				s.PeriodInsts, s.UnitInsts, s.WarmupInsts)
+		case s.UnitInsts+s.WarmupInsts > s.PeriodInsts:
+			return invalid("sampling unit+warmup (%d+%d) exceed the period (%d)",
+				s.UnitInsts, s.WarmupInsts, s.PeriodInsts)
+		}
+	default:
+		return invalid("unknown execution mode %q", n.Budget.Mode)
 	}
 	// Stray cross-field content is rejected rather than ignored: every
 	// field is part of the content hash, so a bench request carrying a
@@ -219,7 +299,21 @@ func (r Request) job() runner.Job {
 			WarmupInsts:  r.Budget.WarmupInsts,
 			MeasureInsts: r.Budget.MeasureInsts,
 			MaxCycles:    r.Budget.MaxCycles,
+			Mode:         sim.Mode(r.Budget.Mode),
+			Sampling:     r.Budget.Sampling.toSim(),
 		},
+	}
+}
+
+// toSim converts the serializable sampling schedule to the simulator's.
+func (s *Sampling) toSim() *sim.Sampling {
+	if s == nil {
+		return nil
+	}
+	return &sim.Sampling{
+		PeriodInsts: s.PeriodInsts,
+		UnitInsts:   s.UnitInsts,
+		WarmupInsts: s.WarmupInsts,
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func TestRequestNormalizationAndHashStability(t *testing.T) {
@@ -184,10 +186,99 @@ func TestRequestHashesPinned(t *testing.T) {
 			WithHierarchy(64, SharedL2(64<<10, 8)).WithPrivateHierarchy(), RunOpts{}),
 			"d90cf9c962b025ad0528bc1d7f09fec7bc2f19b3f2dd8f02919249697e496858"},
 	}...)
+	// Execution-mode requests (PR 8): pinned at introduction. Mode and
+	// Sampling are omitempty and exact mode normalizes to the zero value,
+	// so these join the schema without moving any hash above; adaptive
+	// hashes *distinctly* from exact even though results are bit-identical
+	// (the cache never has to trust that equivalence), and sampled
+	// requests always hash with their parameters spelled out.
+	pinned = append(pinned, []struct {
+		name string
+		req  Request
+		hash string
+	}{
+		{"mode adaptive t=4", func() Request {
+			r := MixRequest(Figure2(4), RunOpts{})
+			r.Budget.Mode = ModeAdaptive
+			return r.Normalized()
+		}(),
+			"2c2af3dcd1c40559e60aa1160f526e4bd17a6c2a2137663d8ea6b5d50ff8d922"},
+		{"mode sampled defaults", func() Request {
+			r := MixRequest(Figure2(4), RunOpts{MeasureInsts: 10_000_000})
+			r.Budget.Mode = ModeSampled
+			return r.Normalized()
+		}(),
+			"71da26cf2745ccbd091c3394a021c1976e969ff17293ed1f8845bc55fa026a64"},
+		{"mode sampled custom", func() Request {
+			r := MixRequest(Figure2(1).WithL2Latency(256), RunOpts{MeasureInsts: 1_000_000})
+			r.Budget.Mode = ModeSampled
+			r.Budget.Sampling = &Sampling{PeriodInsts: 50_000, UnitInsts: 1_000, WarmupInsts: 2_000}
+			return r.Normalized()
+		}(),
+			"55306547d455ce5ef9109fc66d86afaa755d222954cdfda9132741f9ec33dadd"},
+	}...)
 	for _, p := range pinned {
 		if got := p.req.Hash(); got != p.hash {
 			t.Errorf("%s: hash %s, want pinned %s (cache schema broken)", p.name, got, p.hash)
 		}
+	}
+}
+
+// TestRequestModeNormalization: exact is the zero mode — a spelled-out
+// "exact" canonicalizes away so it cannot fork the cache keyspace, a
+// sampled request always hashes with its sampling parameters spelled out
+// (never depending on the compiled-in defaults), and mode/sampling
+// mismatches fail validation.
+func TestRequestModeNormalization(t *testing.T) {
+	base := MixRequest(Figure2(2), RunOpts{})
+	spelled := MixRequest(Figure2(2), RunOpts{})
+	spelled.Budget.Mode = ModeExact
+	if spelled.Normalized().Hash() != base.Hash() {
+		t.Error("explicit exact mode hashes apart from the default request")
+	}
+
+	adaptive := MixRequest(Figure2(2), RunOpts{})
+	adaptive.Budget.Mode = ModeAdaptive
+	if adaptive.Normalized().Hash() == base.Hash() {
+		t.Error("adaptive request shares the exact hash")
+	}
+
+	// Defaults spelled out: a sampled request with nil sampling must hash
+	// identically to one naming the default parameters explicitly.
+	implicit := MixRequest(Figure2(2), RunOpts{MeasureInsts: 1_000_000})
+	implicit.Budget.Mode = ModeSampled
+	explicit := MixRequest(Figure2(2), RunOpts{MeasureInsts: 1_000_000})
+	explicit.Budget.Mode = ModeSampled
+	explicit.Budget.Sampling = &Sampling{
+		PeriodInsts: sim.DefaultSamplingPeriod,
+		UnitInsts:   sim.DefaultSamplingUnit,
+		WarmupInsts: sim.DefaultSamplingWarmup,
+	}
+	if implicit.Normalized().Hash() != explicit.Normalized().Hash() {
+		t.Error("sampled defaults not spelled out by Normalized: implicit and explicit requests hash apart")
+	}
+	if got := implicit.Normalized().Budget.Sampling; got == nil || got.PeriodInsts != sim.DefaultSamplingPeriod {
+		t.Errorf("Normalized left sampling parameters unresolved: %+v", got)
+	}
+
+	// Sampling parameters only make sense in sampled mode.
+	stray := MixRequest(Figure2(2), RunOpts{})
+	stray.Budget.Sampling = &Sampling{PeriodInsts: 1000, UnitInsts: 100, WarmupInsts: 100}
+	if err := stray.Validate(); err == nil {
+		t.Error("sampling parameters accepted outside sampled mode")
+	}
+
+	bad := MixRequest(Figure2(2), RunOpts{MeasureInsts: 1_000_000})
+	bad.Budget.Mode = "turbo"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown mode accepted")
+	}
+
+	overlong := MixRequest(Figure2(2), RunOpts{MeasureInsts: 1_000_000})
+	overlong.Budget.Mode = ModeSampled
+	overlong.Budget.Sampling = &Sampling{PeriodInsts: 500, UnitInsts: 400, WarmupInsts: 200}
+	if err := overlong.Validate(); err == nil {
+		t.Error("unit+warmup exceeding the period accepted")
 	}
 }
 
