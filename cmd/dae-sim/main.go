@@ -11,6 +11,8 @@
 //	                                       # instead of the flat infinite L2
 //	dae-sim -cores 2 -threads 2 -l2size 262144   # 2-core CMP sharing the L2
 //	dae-sim -cores 4 -threads 1 -l2size 65536 -privatel2  # per-core L2s
+//	dae-sim -threads 4 -trace swim.dct           # replay a dae-trace container
+//	dae-sim -threads 2 -spec-frac 0.3 -spec-misspec 0.05  # speculative-DAE
 package main
 
 import (
@@ -54,7 +56,12 @@ func main() {
 		forwarding   = flag.Bool("forwarding", false, "enable store-to-load forwarding in the SAQ")
 		fetchRR      = flag.Bool("fetch-rr", false, "use round-robin fetch instead of ICOUNT")
 		mix          = flag.Bool("mixdetail", false, "also print the graduated instruction mix")
-		traceFiles   = flag.String("trace", "", "comma-separated trace files (one per thread; overrides -bench/mix)")
+		traceFiles   = flag.String("trace", "", "trace file to replay (overrides -bench/mix); a single path runs as a content-addressed trace Request in any dae-trace format, a comma-separated list replays one legacy file per thread")
+		traceFormat  = flag.String("trace-format", "", "single -trace file format (auto, container, legacy, bin, text; default sniffs)")
+		specFrac     = flag.Float64("spec-frac", 0, "speculative-DAE: fraction of access-slice loads hoisted speculatively [0,1]")
+		specMisspec  = flag.Float64("spec-misspec", 0, "speculative-DAE: misspeculation probability per speculative load [0,1]")
+		specSquash   = flag.Int64("spec-squash", 0, "speculative-DAE: squash refetch penalty in cycles (0 = default "+fmt.Sprint(daesim.DefaultSquashCycles)+" when loads speculate)")
+		specLoD      = flag.Int64("spec-lod", 0, "speculative-DAE: force a loss-of-decoupling event every N fetched instructions per context (0 = never)")
 		jsonOut      = flag.Bool("json", false, "emit the report as JSON (for scripting)")
 		cacheDir     = flag.String("cache", "", "on-disk result cache directory shared with dae-sweep and dae-serve (bench/mix runs only)")
 		hashOnly     = flag.Bool("hash", false, "print the run's Request content hash and exit without simulating")
@@ -106,6 +113,14 @@ func main() {
 	if *fetchRR {
 		m.FetchPolicy = daesim.FetchRoundRobin
 	}
+	if *specFrac != 0 || *specMisspec != 0 || *specSquash != 0 || *specLoD != 0 {
+		m = m.WithSpeculation(daesim.Speculation{
+			SpecLoadFrac: *specFrac,
+			MisspecProb:  *specMisspec,
+			SquashCycles: *specSquash,
+			LoDEvery:     *specLoD,
+		})
+	}
 
 	// Ctrl-C cancels the simulation through the Engine's context.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -126,15 +141,26 @@ func main() {
 		rep daesim.Report
 		err error
 	)
-	if *traceFiles != "" {
+	if strings.Contains(*traceFiles, ",") {
+		// Legacy multi-file replay: one single-stream file per thread,
+		// outside the Request/cache surface.
 		if *hashOnly || *requestOut {
-			fail(fmt.Errorf("-hash/-request require a synthetic workload (trace files are not content-addressed)"))
+			fail(fmt.Errorf("-hash/-request require a single -trace file or a synthetic workload"))
 		}
 		rep, err = runFromFiles(ctx, m, strings.Split(*traceFiles, ","), opts, *mode, sampling)
 	} else {
 		req := daesim.MixRequest(m, opts)
 		what := "mix"
-		if *bench != "" {
+		switch {
+		case *traceFiles != "":
+			// A single trace file is a first-class content-addressed
+			// Request: hashable, cacheable and servable like any other.
+			if *seed != 0 {
+				fail(fmt.Errorf("-seed applies to generator workloads, not trace replay"))
+			}
+			req = daesim.TraceRequest(*traceFiles, *traceFormat, m, opts)
+			what = "trace"
+		case *bench != "":
 			req = daesim.BenchmarkRequest(*bench, m, opts)
 			what = *bench
 		}
@@ -169,6 +195,11 @@ func main() {
 	}
 	if err != nil {
 		fail(err)
+	}
+	if *traceFiles != "" && rep.Graduated == 0 {
+		// Finite traces run to exhaustion; a warm-up budget at least as
+		// long as the trace leaves nothing to measure.
+		fmt.Fprintf(os.Stderr, "dae-sim: warning: measurement window is empty — the trace ran dry during warm-up (lower -warmup below the trace's per-stream length)\n")
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

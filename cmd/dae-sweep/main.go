@@ -14,6 +14,7 @@
 //	dae-sweep -fig a1..a7              # ablations
 //	dae-sweep -fig i1                  # shared-L2 interference study
 //	dae-sweep -fig c1                  # CMP scaling study (multi-core)
+//	dae-sweep -fig d1                  # speculative-DAE study
 //	dae-sweep -fig 1d -measure 2000000 # bigger budget per thread
 //	dae-sweep -fig all -cache .sweeps  # persist results; re-runs and
 //	                                   # crashed sweeps resume from disk
@@ -275,6 +276,7 @@ var figureCatalog = []struct{ key, desc string }{
 	{"i1", "Ablation I1: shared-L2 interference — IPC and per-thread L2 miss ratio vs contexts at several finite L2 sizes (L2+DRAM hierarchy)"},
 	{"c1", "Figure C1: CMP scaling — aggregate IPC vs cores × contexts, shared vs private L2, cross-core interference"},
 	{"s1", "Study S1: sampled vs exact — IPC error, confidence intervals and wall-clock speedup on the four figure configs"},
+	{"d1", "Figure D1: speculative-DAE — IPC vs contexts × speculation aggressiveness × loss-of-decoupling rate (L2=64)"},
 }
 
 // listFigures renders the catalog.
@@ -441,6 +443,16 @@ func sweep(fig string, budget experiments.Budget, csvDir string, stdout, stderr 
 			return err
 		}
 		if err := saveCSV(csvDir, "s1.csv", r, stderr); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, r.Table())
+	}
+	if want("d1") {
+		r, err := experiments.D1(budget)
+		if err != nil {
+			return err
+		}
+		if err := saveCSV(csvDir, "d1.csv", r, stderr); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, r.Table())

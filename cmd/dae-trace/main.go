@@ -1,22 +1,31 @@
-// Command dae-trace generates, inspects and summarizes instruction traces
-// in the repository's binary trace format.
+// Command dae-trace generates, ingests, inspects and summarizes
+// instruction traces.
 //
 // Usage:
 //
-//	dae-trace gen -bench swim -n 1000000 -o swim.trace   # write a trace file
-//	dae-trace dump -i swim.trace -n 20                   # print records
-//	dae-trace stat -i swim.trace                         # mix/footprint summary
-//	dae-trace stat -bench fpppp -n 500000                # stat a generator directly
-//	dae-trace list                                       # list built-in benchmarks
+//	dae-trace export -bench swim -t 4 -n 1000000 -o swim.dct  # multi-stream container
+//	dae-trace import -i ext.txt -format text -o ext.dct       # ingest an external trace
+//	dae-trace gen -bench swim -n 1000000 -o swim.trace        # legacy single-stream file
+//	dae-trace dump -i swim.dct -n 20                          # print records
+//	dae-trace stat -i swim.dct                                # mix/footprint summary
+//	cat ext.bin | dae-trace stat -i -                         # any input reads stdin via -i -
+//	dae-trace stat -bench fpppp -n 500000                     # stat a generator directly
+//	dae-trace list                                            # the curated workload catalog
+//
+// File formats are sniffed from their magic bytes (text is the magic-less
+// fallback), so -format is only needed to override the detection.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/isa"
 	"repro/internal/trace"
+	"repro/internal/traceio"
 	"repro/internal/workload"
 )
 
@@ -30,6 +39,10 @@ func main() {
 	switch cmd {
 	case "gen":
 		err = cmdGen(args)
+	case "export":
+		err = cmdExport(args)
+	case "import":
+		err = cmdImport(args)
 	case "dump":
 		err = cmdDump(args)
 	case "stat":
@@ -47,23 +60,78 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dae-trace <gen|dump|stat|list> [flags]
-  gen  -bench NAME -n COUNT -o FILE [-seed S] [-offset A]
-  dump -i FILE [-n COUNT]
-  stat (-i FILE | -bench NAME -n COUNT) [-seed S]
+	fmt.Fprintln(os.Stderr, `usage: dae-trace <export|import|gen|dump|stat|list> [flags]
+  export -bench NAME -o FILE [-t CONTEXTS] [-n PER-STREAM] [-seed S] [-note TEXT]
+  import -i FILE|- -o FILE [-format auto|container|legacy|bin|text] [-name N] [-note TEXT]
+  gen    -bench NAME -n COUNT -o FILE [-seed S] [-offset A]
+  dump   -i FILE|- [-n COUNT] [-format F]
+  stat   (-i FILE|- | -bench NAME -n COUNT) [-seed S] [-format F]
   list`)
 }
 
 func cmdList() error {
-	for _, b := range workload.All() {
-		insts := 0
-		for _, k := range b.Kernels {
-			insts += k.InstsPerIteration()
-		}
-		fmt.Printf("%-8s  %d streams, %d kernels, ≤%d insts/iteration\n",
-			b.Name, len(b.Streams), len(b.Kernels), insts)
+	for _, e := range workload.Catalog() {
+		fmt.Printf("%-8s  %-9s  %d streams, %d kernels, ≤%d insts/iteration, %.1f MB footprint\n",
+			e.Name, e.Kind, e.Streams, e.Kernels, e.InstsPerIteration,
+			float64(e.FootprintBytes)/(1<<20))
+		fmt.Printf("          %s\n", e.Provenance)
 	}
 	return nil
+}
+
+// openInput opens the input path, where "-" means stdin.
+func openInput(path string) (io.Reader, func() error, error) {
+	if path == "-" {
+		return os.Stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// decodeStreams reads a whole trace in any accepted format into
+// per-stream slices, plus the container header when there is one
+// (single-stream formats report a synthesized one-stream header).
+func decodeStreams(r io.Reader, format string) (traceio.Header, [][]isa.Inst, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	f, err := traceio.ParseFormat(format)
+	if err != nil {
+		return traceio.Header{}, nil, err
+	}
+	if f == traceio.FormatAuto {
+		if f, err = traceio.Detect(br); err != nil {
+			return traceio.Header{}, nil, err
+		}
+	}
+	one := func(insts []isa.Inst, err error) (traceio.Header, [][]isa.Inst, error) {
+		if err != nil {
+			return traceio.Header{}, nil, err
+		}
+		return traceio.Header{Streams: 1}, [][]isa.Inst{insts}, nil
+	}
+	switch f {
+	case traceio.FormatContainer:
+		return traceio.ReadAll(br)
+	case traceio.FormatLegacy:
+		fr, err := trace.NewFileReader(br)
+		if err != nil {
+			return traceio.Header{}, nil, err
+		}
+		var insts []isa.Inst
+		var in isa.Inst
+		for fr.Next(&in) {
+			insts = append(insts, in)
+		}
+		return one(insts, fr.Err())
+	case traceio.FormatBinary:
+		return one(traceio.ParseBinary(br))
+	case traceio.FormatText:
+		return one(traceio.ParseText(br))
+	default:
+		return traceio.Header{}, nil, fmt.Errorf("unsupported trace format %q", f)
+	}
 }
 
 func cmdGen(args []string) error {
@@ -102,67 +170,173 @@ func cmdGen(args []string) error {
 	return nil
 }
 
-func openTrace(path string) (*trace.FileReader, func(), error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, err
+// cmdExport captures a built-in benchmark's exact per-context streams
+// into a container, so `dae-sim -trace` replays what the generator would
+// have produced bit-identically.
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	contexts := fs.Int("t", 1, "hardware contexts (one stream per context)")
+	n := fs.Int64("n", 1_000_000, "instructions per stream")
+	out := fs.String("o", "", "output container file")
+	seed := fs.Uint64("seed", 0, "workload seed")
+	note := fs.String("note", "", "provenance note stored in the container")
+	fs.Parse(args)
+	if *bench == "" || *out == "" {
+		return fmt.Errorf("export requires -bench and -o")
 	}
-	fr, err := trace.NewFileReader(f)
+	b, err := workload.ByName(*bench)
 	if err != nil {
-		f.Close()
-		return nil, nil, err
+		return err
 	}
-	return fr, func() { f.Close() }, nil
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	counts, err := workload.ExportTrace(f, b, *contexts, *seed, *n, *note)
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	fmt.Printf("wrote %d records (%d streams × %d) to %s\n", total, len(counts), *n, *out)
+	return nil
 }
 
-func cmdDump(args []string) error {
-	fs := flag.NewFlagSet("dump", flag.ExitOnError)
-	in := fs.String("i", "", "input trace file")
-	n := fs.Int64("n", 32, "records to print")
+// cmdImport ingests a trace in any accepted format and writes it as a
+// container, validating every record on the way in.
+func cmdImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	in := fs.String("i", "-", "input trace file (- reads stdin)")
+	out := fs.String("o", "", "output container file")
+	format := fs.String("format", "auto", "input format (auto, container, legacy, bin, text)")
+	name := fs.String("name", "", "container display name (default: the input's, if any)")
+	note := fs.String("note", "", "provenance note (default: the input's, if any)")
 	fs.Parse(args)
-	if *in == "" {
-		return fmt.Errorf("dump requires -i")
+	if *out == "" {
+		return fmt.Errorf("import requires -o")
 	}
-	fr, done, err := openTrace(*in)
+	r, done, err := openInput(*in)
 	if err != nil {
 		return err
 	}
 	defer done()
-	var inst isa.Inst
-	for i := int64(0); i < *n && fr.Next(&inst); i++ {
-		fmt.Printf("%8d  %s\n", i, inst.String())
+	h, streams, err := decodeStreams(r, *format)
+	if err != nil {
+		return err
 	}
-	return fr.Err()
+	if *name == "" {
+		*name = h.Name
+	}
+	if *note == "" {
+		*note = h.Note
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := traceio.NewWriter(f, traceio.Header{Streams: len(streams), Name: *name, Note: *note})
+	if err != nil {
+		return err
+	}
+	var total int64
+	for s, insts := range streams {
+		n, err := w.AppendAll(s, trace.Slice(insts))
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("imported %d records (%d streams) to %s\n", total, len(streams), *out)
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (- reads stdin)")
+	n := fs.Int64("n", 32, "records to print")
+	format := fs.String("format", "auto", "input format (auto sniffs)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("dump requires -i")
+	}
+	r, done, err := openInput(*in)
+	if err != nil {
+		return err
+	}
+	defer done()
+	h, streams, err := decodeStreams(r, *format)
+	if err != nil {
+		return err
+	}
+	printed := int64(0)
+	for s, insts := range streams {
+		for i, inst := range insts {
+			if printed >= *n {
+				return nil
+			}
+			if h.Streams > 1 {
+				fmt.Printf("s%-3d %8d  %s\n", s, i, inst.String())
+			} else {
+				fmt.Printf("%8d  %s\n", i, inst.String())
+			}
+			printed++
+		}
+	}
+	return nil
 }
 
 func cmdStat(args []string) error {
 	fs := flag.NewFlagSet("stat", flag.ExitOnError)
-	in := fs.String("i", "", "input trace file")
+	in := fs.String("i", "", "input trace file (- reads stdin)")
 	bench := fs.String("bench", "", "benchmark name (instead of a file)")
 	n := fs.Int64("n", 1_000_000, "instructions to scan (generator mode)")
 	seed := fs.Uint64("seed", 0, "workload seed")
+	format := fs.String("format", "auto", "input format (auto sniffs)")
 	fs.Parse(args)
 
-	var r trace.Reader
-	var cleanup func()
+	var streams [][]isa.Inst
 	switch {
 	case *in != "":
-		fr, done, err := openTrace(*in)
+		r, done, err := openInput(*in)
 		if err != nil {
 			return err
 		}
-		r, cleanup = fr, done
+		defer done()
+		h, s, err := decodeStreams(r, *format)
+		if err != nil {
+			return err
+		}
+		streams = s
+		if h.Name != "" || h.Note != "" {
+			fmt.Printf("container:    %q", h.Name)
+			if h.Note != "" {
+				fmt.Printf("  (%s)", h.Note)
+			}
+			fmt.Println()
+		}
 	case *bench != "":
 		b, err := workload.ByName(*bench)
 		if err != nil {
 			return err
 		}
-		r = trace.Limit(b.NewReader(workload.ReaderOpts{Seed: *seed}), *n)
-		cleanup = func() {}
+		r := trace.Limit(b.NewReader(workload.ReaderOpts{Seed: *seed}), *n)
+		var insts []isa.Inst
+		var inst isa.Inst
+		for r.Next(&inst) {
+			insts = append(insts, inst)
+		}
+		streams = [][]isa.Inst{insts}
 	default:
 		return fmt.Errorf("stat requires -i or -bench")
 	}
-	defer cleanup()
 
 	var (
 		counts  [isa.NumOps]int64
@@ -173,26 +347,30 @@ func cmdStat(args []string) error {
 		minAddr = ^uint64(0)
 		maxAddr uint64
 	)
-	var inst isa.Inst
-	for r.Next(&inst) {
-		total++
-		counts[inst.Op]++
-		pcs[inst.PC] = struct{}{}
-		if inst.IsBranch() && inst.Taken {
-			taken++
-		}
-		if inst.IsMem() {
-			lines[inst.Addr>>5] = struct{}{}
-			if inst.Addr < minAddr {
-				minAddr = inst.Addr
+	for _, insts := range streams {
+		for _, inst := range insts {
+			total++
+			counts[inst.Op]++
+			pcs[inst.PC] = struct{}{}
+			if inst.IsBranch() && inst.Taken {
+				taken++
 			}
-			if inst.Addr > maxAddr {
-				maxAddr = inst.Addr
+			if inst.IsMem() {
+				lines[inst.Addr>>5] = struct{}{}
+				if inst.Addr < minAddr {
+					minAddr = inst.Addr
+				}
+				if inst.Addr > maxAddr {
+					maxAddr = inst.Addr
+				}
 			}
 		}
 	}
 	if total == 0 {
 		return fmt.Errorf("empty trace")
+	}
+	if len(streams) > 1 {
+		fmt.Printf("streams:      %d\n", len(streams))
 	}
 	fmt.Printf("instructions: %d\n", total)
 	fmt.Printf("static PCs:   %d\n", len(pcs))

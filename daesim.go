@@ -86,6 +86,26 @@ type Kernel = workload.Kernel
 // IntLoadSpec configures a Kernel's integer (index/gather) loads.
 type IntLoadSpec = workload.IntLoadSpec
 
+// CatalogEntry describes one curated workload: name, kind, provenance,
+// footprint and mix shape (see Catalog).
+type CatalogEntry = workload.CatalogEntry
+
+// Catalog returns the curated workload catalog, built-ins first in the
+// paper's order. `dae-trace list` renders the same entries.
+func Catalog() []CatalogEntry { return workload.Catalog() }
+
+// CatalogByName returns the named catalog entry.
+func CatalogByName(name string) (CatalogEntry, error) { return workload.CatalogByName(name) }
+
+// Speculation parameterizes the speculative-DAE extension (speculative
+// access-slice loads, squash penalties and loss-of-decoupling events);
+// attach it to a Machine with Machine.WithSpeculation.
+type Speculation = config.Speculation
+
+// DefaultSquashCycles is the squash refetch penalty applied when
+// Speculation.SquashCycles is zero.
+const DefaultSquashCycles = config.DefaultSquashCycles
+
 // FetchPolicy selects the fetch thread-choice policy.
 type FetchPolicy = config.FetchPolicy
 

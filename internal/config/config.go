@@ -126,6 +126,12 @@ type Machine struct {
 	// store to commit).
 	StoreForwarding bool
 
+	// Spec enables the speculative access/execute extension (see
+	// Speculation). Nil — the canonical spelling of "off", kept by
+	// request normalization so every pre-existing configuration hash is
+	// pinned — runs the paper's non-speculative machine.
+	Spec *Speculation `json:",omitempty"`
+
 	// Mem is the memory subsystem configuration.
 	Mem mem.Config
 
@@ -134,6 +140,45 @@ type Machine struct {
 	// proportionally to the L2 latency". The scale factor is
 	// ceil(L2Latency/16), i.e. 1 at the paper's 16-cycle baseline.
 	ScaleWithLatency bool
+}
+
+// Speculation parameterizes the speculative-DAE extension, after
+// Szafarczyk et al.: a decoupled access slice that no longer waits for
+// may-alias or control dependences but issues a fraction of its loads
+// speculatively, paying a squash-and-refetch penalty when one
+// misspeculates, plus periodic loss-of-decoupling (LoD) events where a
+// value computed in the execute slice feeds an address — fetch must
+// hold until the execute queue drains, collapsing the AP/EP slip the
+// whole model exists to create. All draws are derived from deterministic
+// hashes of (PC, sequence number, context), so runs are reproducible
+// and independent of execution mode and host parallelism.
+type Speculation struct {
+	// SpecLoadFrac is the fraction of loads hoisted speculatively into
+	// the access slice, in [0,1]. Zero disables speculative issue (LoD
+	// modeling may still be on).
+	SpecLoadFrac float64 `json:",omitempty"`
+	// MisspecProb is the probability, in [0,1], that a speculative load
+	// misspeculates and squashes its thread's fetch stream.
+	MisspecProb float64 `json:",omitempty"`
+	// SquashCycles is the refetch penalty of one squash; zero means
+	// DefaultSquashCycles (request normalization spells the default out
+	// so both spellings hash identically).
+	SquashCycles int64 `json:",omitempty"`
+	// LoDEvery injects one loss-of-decoupling event per context every
+	// LoDEvery fetched instructions (zero: never).
+	LoDEvery int64 `json:",omitempty"`
+}
+
+// DefaultSquashCycles is the squash refetch penalty applied when
+// Speculation.SquashCycles is zero: a mispredict-flavoured pipeline
+// refill.
+const DefaultSquashCycles = 8
+
+// WithSpeculation returns a copy of m with the speculative-DAE knobs
+// set.
+func (m Machine) WithSpeculation(s Speculation) Machine {
+	m.Spec = &s
+	return m
 }
 
 // Figure2 returns the Section-3 multithreaded decoupled machine with the
@@ -362,6 +407,24 @@ func (m Machine) Validate() error {
 		// The Section-2 rule scales buffers with the flat L2 latency,
 		// which a finite hierarchy does not have.
 		return fail("latency-proportional scaling applies only to the flat L2 model")
+	}
+	if s := m.Spec; s != nil {
+		switch {
+		case *s == (Speculation{}):
+			// The canonical spelling of "off" is a nil Spec; the stray
+			// all-zero block would hash apart from the same machine.
+			return fail("empty speculation block (omit Spec to disable)")
+		case s.SpecLoadFrac < 0 || s.SpecLoadFrac > 1:
+			return fail("speculative load fraction %g outside [0,1]", s.SpecLoadFrac)
+		case s.MisspecProb < 0 || s.MisspecProb > 1:
+			return fail("misspeculation probability %g outside [0,1]", s.MisspecProb)
+		case s.SquashCycles < 0:
+			return fail("squash cycles %d must be non-negative", s.SquashCycles)
+		case s.LoDEvery < 0:
+			return fail("LoD period %d must be non-negative", s.LoDEvery)
+		case s.SpecLoadFrac == 0 && (s.MisspecProb > 0 || s.SquashCycles > 0):
+			return fail("misspeculation knobs are inert without a speculative load fraction")
+		}
 	}
 	switch m.FetchPolicy {
 	case FetchICOUNT, FetchRoundRobin, "":

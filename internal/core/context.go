@@ -98,6 +98,13 @@ type Context struct {
 	// next dispatch push.
 	issueStall [isa.NumUnits]issueStall
 
+	// sinceLoD counts fetched instructions toward the next
+	// loss-of-decoupling event (config.Speculation.LoDEvery), and
+	// lodPending holds fetch until the execute queue drains once one
+	// fires. Untouched (always zero) when the extension is off.
+	sinceLoD   int64
+	lodPending bool
+
 	// files indexes the physical register files by unit (branch-free
 	// file()).
 	files [isa.NumUnits]*regfile.File

@@ -74,11 +74,16 @@ type Core struct {
 	// the machine to the architectural boundary a functional warp
 	// resumes from. Never set during exact or adaptive execution.
 	fetchFrozen bool
-	// dispatchStallDelta and conflictStallDelta are the last Tick's
-	// increments of the corresponding collector counters, replayed per
-	// skipped cycle by fastForward.
+	// dispatchStallDelta, conflictStallDelta and lodStallDelta are the
+	// last Tick's increments of the corresponding collector counters,
+	// replayed per skipped cycle by fastForward.
 	dispatchStallDelta int64
 	conflictStallDelta int64
+	lodStallDelta      int64
+
+	// spec is the resolved speculative-DAE configuration (see spec.go);
+	// the zero value disables every hook.
+	spec spec
 
 	// reasonBuf counts this cycle's blocked-stream verdicts per unit and
 	// reason; reasonTotal is the per-unit count of blocked streams. Both
@@ -115,7 +120,7 @@ func newCore(m config.Machine, sources []trace.Reader, ms *mem.System) (*Core, e
 	if len(sources) != m.Threads {
 		return nil, fmt.Errorf("core: %d sources for %d threads", len(sources), m.Threads)
 	}
-	c := &Core{cfg: m, mem: ms, branchResolveAt: Never}
+	c := &Core{cfg: m, mem: ms, branchResolveAt: Never, spec: newSpec(m.Spec)}
 	// Shared hierarchy levels (finite L2 and below) install lines — and
 	// book dirty-victim write-backs on their downstream buses — at their
 	// fill cycles; registering the calendar here guarantees the machine
@@ -177,6 +182,7 @@ func (c *Core) Tick() {
 	c.progressed = false
 	dispatchStalls := c.col.DispatchStalls
 	conflictStalls := c.col.LoadConflictStalls
+	lodStalls := c.col.LoDStalls
 	if c.mem.BeginCycle(c.now) > 0 {
 		c.progressed = true
 	}
@@ -189,6 +195,7 @@ func (c *Core) Tick() {
 	c.rotate = c.rotNext(c.rotate)
 	c.dispatchStallDelta = c.col.DispatchStalls - dispatchStalls
 	c.conflictStallDelta = c.col.LoadConflictStalls - conflictStalls
+	c.lodStallDelta = c.col.LoDStalls - lodStalls
 }
 
 // Step advances the machine by at least one cycle, fast-forwarding over
@@ -279,6 +286,7 @@ func (c *Core) fastForward(k int64) {
 	}
 	c.col.DispatchStalls += k * c.dispatchStallDelta
 	c.col.LoadConflictStalls += k * c.conflictStallDelta
+	c.col.LoDStalls += k * c.lodStallDelta
 	c.rotate = (c.rotate + int(k%int64(len(c.ctxs)))) % len(c.ctxs)
 	c.now += k
 }
@@ -696,6 +704,21 @@ func (c *Core) fetch() {
 		if _, ok := ctx.peekSource(); !ok {
 			continue
 		}
+		if ctx.lodPending {
+			// Loss of decoupling: an execute-slice value feeds the next
+			// address computation, so fetch holds until this context's
+			// execute queue has drained. The blocked cycles are the LoD
+			// stall metric; the condition is constant across a
+			// no-progress stretch, so fastForward replays the counter via
+			// lodStallDelta. (EPQ drain only ever happens on a ticked
+			// cycle — issue sets progressed — so the gate re-evaluates
+			// exactly when it can change.)
+			if ctx.EPQ.Len() > 0 {
+				c.col.LoDStalls++
+				continue
+			}
+			ctx.lodPending = false
+		}
 		c.fetchPick = append(c.fetchPick, t)
 	}
 	if c.cfg.FetchPolicy != config.FetchRoundRobin {
@@ -769,6 +792,15 @@ func (c *Core) fetchThread(ctx *Context) {
 		c.progressed = true
 		c.col.FetchedInsts++
 
+		// Speculative-DAE hooks: the LoD countdown charges every fetched
+		// instruction and, once armed, stops this thread's fetch after
+		// the branch below is still accounted; a misspeculated hoisted
+		// load squashes the stream outright.
+		lod := c.spec.enabled && c.specFetched(ctx)
+		if c.spec.enabled && d.IsLoad() && c.specFetchLoad(ctx, d) {
+			return
+		}
+
 		if d.IsBranch() {
 			ctx.Unresolved++
 			predicted := ctx.Pred.Predict(d.PC)
@@ -781,6 +813,9 @@ func (c *Core) fetchThread(ctx *Context) {
 			if d.Taken {
 				return // fetch stops at a (correctly) predicted-taken branch
 			}
+		}
+		if lod {
+			return // loss of decoupling: hold fetch until the EPQ drains
 		}
 	}
 }

@@ -190,6 +190,39 @@ func TestFastForwardRedirectCancelsEvents(t *testing.T) {
 	}
 }
 
+// TestFastForwardSpeculation runs the speculative-DAE extension through
+// the equivalence harness: squash freezes land in the calendar, LoD
+// fetch holds replay their per-cycle stall counter through skips, and
+// the whole run must stay bit-identical to stepping. The trace mixes
+// missing loads, FP consumers (so the EPQ is non-empty when LoD events
+// fire) and mispredict-prone branches.
+func TestFastForwardSpeculation(t *testing.T) {
+	m := highLatency().WithSpeculation(config.Speculation{
+		SpecLoadFrac: 0.5,
+		MisspecProb:  0.3,
+		LoDEvery:     25,
+	})
+	var insts []isa.Inst
+	for i := 0; i < 250; i++ {
+		base := uint64(0x700000 + i*4096)
+		insts = append(insts,
+			fpLoad(0x50, 8, 1, base),
+			fpOp(0x54, 0, 0, 8),
+			intLoad(0x58, 13, 1, base+64),
+			brInst(0x5c, 13, i%3 == 0),
+		)
+	}
+	fast, _ := runPair(t, m, insts, 2_000_000)
+	col := fast.Collector()
+	if col.SpeculativeLoads == 0 || col.Squashes == 0 || col.LoDStalls == 0 {
+		t.Fatalf("speculation scenario vacuous: %+v", struct{ S, Q, L int64 }{
+			col.SpeculativeLoads, col.Squashes, col.LoDStalls})
+	}
+	if fast.SkippedCycles() == 0 {
+		t.Fatal("nothing was skipped; the scenario is vacuous")
+	}
+}
+
 // TestFastForwardStoreConflictStall covers the load-behind-conflicting-
 // store retry path, whose per-cycle conflict counter must replay exactly
 // during skips (the store's data arrives from a missing load).

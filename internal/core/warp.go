@@ -73,6 +73,13 @@ func (c *Core) warpRound(n int64) int64 {
 // advance and no statistics change. It returns the number of
 // instructions consumed, which falls short of n only when every source
 // runs dry. Call only on a drained pipeline (DrainPipeline).
+//
+// The speculative-DAE extension is a timing model (squash penalties and
+// LoD fetch holds) and is deliberately not applied across a warp: the
+// warped instructions' speculative prefetches coincide with their own
+// functional warming, and the per-context LoD countdown simply does not
+// advance. Sampled-mode runs therefore estimate a machine whose gaps
+// are speculation-free; exact and adaptive runs model every event.
 func (c *Core) Warp(n int64) int64 {
 	var done int64
 	for done < n {

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// TestDecoupledDrainSlackCounterexample pins the quick-check
+// counterexample behind TestQuickProgramsDrainBothModes' 2-cycle slack: a
+// 49-instruction program on which the decoupled Figure-2 machine drains 2
+// cycles after the non-decoupled one (60 vs 58). The loss is a terminal
+// artifact — the last few EP instructions ride the AP/EP queue handoff
+// after fetch has run dry, where slippage can no longer buy anything — so
+// it is bounded by queue latency, not proportional to program length.
+func TestDecoupledDrainSlackCounterexample(t *testing.T) {
+	data := []byte{
+		0x0b, 0x95, 0xb6, 0xcb, 0xbc, 0xb4, 0x5f, 0x5c, 0x02, 0x38,
+		0x2b, 0x59, 0xef, 0x09, 0x76, 0xeb, 0xc9, 0x83, 0x68, 0x5d,
+		0xbd, 0xa2, 0x94, 0x85, 0xd6, 0xf7, 0x3a, 0xf6, 0x5e, 0x1a,
+		0x6b, 0xb9, 0x23, 0x9f, 0x04, 0xd7, 0xac, 0x5b, 0xfa, 0x5c,
+		0x0c, 0x63, 0x35, 0x47, 0x53, 0x44, 0x8c, 0xfc, 0x7f,
+	}
+	insts := genProgram(data)
+	run := func(m config.Machine) (int64, int64) {
+		c, err := New(m, []trace.Reader{trace.Slice(insts)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, drained := c.Run(2_000_000); !drained {
+			t.Fatal("machine did not drain")
+		}
+		return c.Collector().Graduated, c.Now()
+	}
+	gDec, cycDec := run(config.Figure2(1))
+	gNon, cycNon := run(config.Figure2(1).NonDecoupled())
+	if gDec != int64(len(insts)) || gNon != int64(len(insts)) {
+		t.Fatalf("graduated dec=%d non=%d, want %d", gDec, gNon, len(insts))
+	}
+	if cycDec > cycNon+2 {
+		t.Errorf("drain slack grew: decoupled %d vs non-decoupled %d cycles", cycDec, cycNon)
+	}
+}
+
+// warpProgram is a deterministic mixed program long enough to leave
+// architectural state behind: loads and stores walking distinct lines,
+// branches with a stable taken pattern, and ALU filler.
+func warpProgram(n int, addrBase uint64) []isa.Inst {
+	var insts []isa.Inst
+	for i := 0; i < n; i++ {
+		pc := uint64(i%16) * 4
+		switch i % 5 {
+		case 0:
+			insts = append(insts, fpLoad(pc, 8+i%4, 1, addrBase+uint64(i)*32))
+		case 1:
+			insts = append(insts, fpStore(pc, i%6, 1, addrBase+uint64(i)*32))
+		case 2:
+			insts = append(insts, brInst(pc, 1+i%4, i%3 == 0))
+		default:
+			insts = append(insts, intOp(pc, 1+i%8, 9+i%4, 13))
+		}
+	}
+	return insts
+}
+
+// TestWarpAdvancesArchitecturalStateOnly drives the functional warp on a
+// fresh single-core machine: cursors move (the consumed instructions
+// never graduate), simulated time stands still, the caches warm, and the
+// remainder of the program still drains on the timed path.
+func TestWarpAdvancesArchitecturalStateOnly(t *testing.T) {
+	insts := warpProgram(200, 0x10000)
+	c, err := New(config.Figure2(1), []trace.Reader{trace.Slice(insts)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.PipelineEmpty() {
+		t.Fatal("fresh machine's pipeline not empty")
+	}
+	if !c.DrainPipeline() {
+		t.Fatal("drain of an idle machine failed")
+	}
+	if done := c.Warp(100); done != 100 {
+		t.Fatalf("warped %d instructions, want 100", done)
+	}
+	if c.Now() != 0 {
+		t.Errorf("warp advanced time to cycle %d", c.Now())
+	}
+	if g := c.Collector().Graduated; g != 0 {
+		t.Errorf("warp graduated %d instructions", g)
+	}
+	// The warmed footprint is architecturally present: the first warped
+	// load's line sits in the L1.
+	if !c.Mem().Cache().Lookup(0x10000) {
+		t.Error("warp did not warm the first touched line")
+	}
+	// The timed path finishes the rest and only the rest.
+	if _, drained := c.Run(2_000_000); !drained {
+		t.Fatal("post-warp run did not drain")
+	}
+	if g := c.Collector().Graduated; g != 100 {
+		t.Errorf("graduated %d instructions after the warp, want 100", g)
+	}
+	// Sources are dry: further warps consume nothing.
+	if done := c.Warp(10); done != 0 {
+		t.Errorf("warp on a dry source consumed %d", done)
+	}
+}
+
+// TestWarpRoundRobinAcrossContexts checks warp fairness: with two
+// contexts and a bound below the total, consumption alternates one
+// instruction per context per round, mirroring fetch's rotation.
+func TestWarpRoundRobinAcrossContexts(t *testing.T) {
+	// The bases must not alias in the direct-mapped 64 KB L1 (their
+	// distance is not a multiple of the cache size).
+	a := warpProgram(40, 0x10000)
+	b := warpProgram(40, 0x24000)
+	c, err := New(config.Figure2(2), []trace.Reader{trace.Slice(a), trace.Slice(b)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := c.Warp(10); done != 10 {
+		t.Fatalf("warped %d, want 10", done)
+	}
+	// 5 rounds of one instruction each: both contexts' first touched
+	// lines (instruction 0 is a load in each program) are warm.
+	if !c.Mem().Cache().Lookup(0x10000) || !c.Mem().Cache().Lookup(0x24000) {
+		t.Error("round-robin warp did not touch both contexts' footprints")
+	}
+	// An exhausted context is skipped, the other drains the budget.
+	short, err := New(config.Figure2(2), []trace.Reader{
+		trace.Slice(a[:3]), trace.Slice(b)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := short.Warp(20); done != 20 {
+		t.Fatalf("warped %d with one short context, want 20", done)
+	}
+}
+
+// TestDrainPipelineReachesQuietBoundary starts a run mid-flight, drains,
+// and requires the clean boundary: empty pipelines, quiescent memory,
+// and fetch unfrozen afterwards (the machine still finishes).
+func TestDrainPipelineReachesQuietBoundary(t *testing.T) {
+	insts := warpProgram(400, 0x10000)
+	c, err := New(config.Figure2(1), []trace.Reader{trace.Slice(insts)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c.Tick()
+	}
+	if !c.DrainPipeline() {
+		t.Fatal("drain did not complete")
+	}
+	if !c.PipelineEmpty() {
+		t.Error("pipeline not empty after drain")
+	}
+	if !c.Mem().Quiescent() {
+		t.Error("memory not quiescent after drain")
+	}
+	mid := c.Collector().Graduated
+	if mid == 0 {
+		t.Error("nothing graduated before the boundary")
+	}
+	if _, drained := c.Run(2_000_000); !drained {
+		t.Fatal("post-drain run did not finish")
+	}
+	if g := c.Collector().Graduated; g != int64(len(insts)) {
+		t.Errorf("graduated %d, want %d", g, len(insts))
+	}
+}
+
+// TestCMPWarpAndDrain exercises the chip-level warp and drain: two cores
+// × one context, lockstep interleaving, both footprints warm, and the
+// remainder completes on the timed path.
+func TestCMPWarpAndDrain(t *testing.T) {
+	m := config.Figure2(1).WithCores(2).WithHierarchy(64,
+		config.SharedL2(64<<10, 8))
+	a := warpProgram(100, 0x10000)
+	b := warpProgram(100, 0x90000)
+	p, err := NewCMP(m, []trace.Reader{trace.Slice(a), trace.Slice(b)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.DrainPipeline() {
+		t.Fatal("drain of an idle CMP failed")
+	}
+	if done := p.Warp(60); done != 60 {
+		t.Fatalf("warped %d, want 60", done)
+	}
+	if p.Now() != 0 {
+		t.Errorf("CMP warp advanced time to %d", p.Now())
+	}
+	// 30 instructions per core consumed: both cores' first lines warm.
+	if !p.Core(0).Mem().Cache().Lookup(0x10000) {
+		t.Error("core 0 footprint cold after warp")
+	}
+	if !p.Core(1).Mem().Cache().Lookup(0x90000) {
+		t.Error("core 1 footprint cold after warp")
+	}
+	for i := 0; i < 10; i++ {
+		p.Tick()
+	}
+	if !p.DrainPipeline() {
+		t.Fatal("mid-run CMP drain failed")
+	}
+	// A dry warp consumes what remains and no more.
+	if done := p.Warp(1_000); done >= 140 {
+		t.Errorf("dry warp consumed %d, more than the %d remaining", done, 140)
+	}
+}
+
+// TestCoreAccessors pins the trivial read-side surface the simulator
+// drivers rely on.
+func TestCoreAccessors(t *testing.T) {
+	m := config.Figure2(2)
+	c, err := New(m, []trace.Reader{
+		trace.Slice(warpProgram(10, 0x1000)), trace.Slice(warpProgram(10, 0x2000))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Config(); got.Threads != 2 {
+		t.Errorf("Config().Threads = %d, want 2", got.Threads)
+	}
+	if c.Context(0) == nil || c.Context(1) == nil {
+		t.Error("Context returned nil")
+	}
+
+	cm := config.Figure2(1).WithCores(2).WithHierarchy(64,
+		config.SharedL2(64<<10, 8))
+	p, err := NewCMP(cm, []trace.Reader{
+		trace.Slice(warpProgram(10, 0x1000)), trace.Slice(warpProgram(10, 0x2000))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Config(); got.Cores != 2 {
+		t.Errorf("CMP Config().Cores = %d, want 2", got.Cores)
+	}
+	if p.Interconnect() == nil {
+		t.Error("Interconnect returned nil")
+	}
+	if p.Done() {
+		t.Error("fresh CMP reports done")
+	}
+}

@@ -144,6 +144,25 @@ func (r *C1Result) WriteCSV(w io.Writer) error {
 	return writeCSV(w, header, rows)
 }
 
+// WriteCSV emits the D1 point list in long form:
+// threads,spec_frac,lod_every,ipc,spec_loads,squashes,lod_stalls,spec_per_ki,squash_per_ki,lod_stall_frac
+func (r *D1Result) WriteCSV(w io.Writer) error {
+	header := []string{"threads", "spec_frac", "lod_every", "ipc",
+		"spec_loads", "squashes", "lod_stalls", "spec_per_ki", "squash_per_ki", "lod_stall_frac"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Threads), fs(p.SpecFrac), strconv.FormatInt(p.LoDEvery, 10),
+			fs(p.IPC),
+			strconv.FormatInt(p.SpecLoads, 10),
+			strconv.FormatInt(p.Squashes, 10),
+			strconv.FormatInt(p.LoDStalls, 10),
+			fs(p.SpecLoadsPerKI), fs(p.SquashesPerKI), fs(p.LoDStallFrac),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
 // WriteCSV emits the S1 study in long form:
 // config,threads,l2,exact_ipc,sampled_ipc,ci,units,err_pct,in_ci,exact_ms,sampled_ms,speedup
 // (the wall-clock columns are measured per run and are NOT deterministic;

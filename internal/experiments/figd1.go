@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// This file implements the speculative-DAE study (figure D1): how much of
+// multithreading's latency tolerance survives when the access slice turns
+// speculative. The paper's machine decouples conservatively — loads wait
+// for their addresses and control; speculative-DAE proposals (Speculative
+// Decoupling, slipstream-style access skipping) hoist a fraction of the
+// access slice ahead of resolution, buying prefetch distance at the price
+// of squashes, and lose decoupling entirely at hard dependences. The
+// study sweeps that trade-off over the paper's context axis:
+//
+//   - threads × speculation aggressiveness: does SMT's latency hiding
+//     subsume the speculative prefetch benefit (the paper's synergy
+//     argument), or do the two compose?
+//   - loss-of-decoupling rate: periodic forced AP/EP synchronization
+//     (the paper's LoD events, here injected at a fixed cadence) — how
+//     fast does decoupling's benefit erode per LoD, and does
+//     multithreading flatten that erosion too?
+//
+// Machines are Figure-2 at L2=64 (the mid-latency point where decoupling
+// is stressed but not saturated), every context running the benchmark
+// mix.
+
+// D1Threads is the context axis.
+var D1Threads = []int{1, 2, 4}
+
+// D1SpecFracs is the speculation-aggressiveness axis (fraction of
+// access-slice loads hoisted speculatively; 0 is the paper's baseline).
+var D1SpecFracs = []float64{0, 0.3, 0.6}
+
+// D1LoDEvery is the loss-of-decoupling axis (forced AP/EP sync every N
+// fetched instructions per context; 0 never forces one).
+var D1LoDEvery = []int64{0, 500}
+
+// D1MisspecProb is the per-speculative-load misspeculation probability of
+// every speculating point (squash penalty: config.DefaultSquashCycles).
+const D1MisspecProb = 0.05
+
+// D1L2Latency is the fixed L2 latency of the study.
+const D1L2Latency = 64
+
+// d1Machine builds one D1 point's machine.
+func d1Machine(threads int, frac float64, lod int64) config.Machine {
+	m := config.Figure2(threads).WithL2Latency(D1L2Latency)
+	if frac > 0 || lod > 0 {
+		s := config.Speculation{SpecLoadFrac: frac, LoDEvery: lod}
+		if frac > 0 {
+			s.MisspecProb = D1MisspecProb
+		}
+		m = m.WithSpeculation(s)
+	}
+	return m
+}
+
+// D1Point is one measured configuration of the study.
+type D1Point struct {
+	// Threads, SpecFrac and LoDEvery identify the configuration.
+	Threads  int
+	SpecFrac float64
+	LoDEvery int64
+
+	// IPC is machine throughput.
+	IPC float64
+	// SpecLoads, Squashes and LoDStalls are the raw speculation counters
+	// of the measurement window.
+	SpecLoads, Squashes, LoDStalls int64
+	// SpecLoadsPerKI and SquashesPerKI normalize per 1000 graduated
+	// instructions.
+	SpecLoadsPerKI, SquashesPerKI float64
+	// LoDStallFrac is the fraction of context-cycles spent fetch-blocked
+	// waiting for the EP queue to drain at an LoD event.
+	LoDStallFrac float64
+}
+
+// D1Result is the study's point list in sweep order (threads outermost,
+// then speculation fraction, then LoD cadence).
+type D1Result struct {
+	Threads   []int
+	SpecFracs []float64
+	LoDs      []int64
+	Points    []D1Point
+}
+
+// D1 runs the canonical study.
+func D1(b Budget) (*D1Result, error) {
+	return D1Grid(b, D1Threads, D1SpecFracs, D1LoDEvery)
+}
+
+// D1Grid runs the study over caller-chosen axes (tests trim them; the
+// canonical axes make the committed figure).
+func D1Grid(b Budget, threads []int, fracs []float64, lods []int64) (*D1Result, error) {
+	r := &D1Result{Threads: threads, SpecFracs: fracs, LoDs: lods}
+	var jobs []runner.Job
+	for _, t := range threads {
+		for _, f := range fracs {
+			for _, lod := range lods {
+				r.Points = append(r.Points, D1Point{Threads: t, SpecFrac: f, LoDEvery: lod})
+				jobs = append(jobs, b.mixJob(
+					fmt.Sprintf("d1 t=%d spec=%.2f lod=%d", t, f, lod),
+					d1Machine(t, f, lod)))
+			}
+		}
+	}
+	reps, err := b.sweep(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range r.Points {
+		r.Points[i].fill(reps[i])
+	}
+	return r, nil
+}
+
+// fill extracts the point's metrics from its report.
+func (p *D1Point) fill(rep stats.Report) {
+	p.IPC = rep.IPC()
+	p.SpecLoads = rep.SpeculativeLoads
+	p.Squashes = rep.Squashes
+	p.LoDStalls = rep.LoDStalls
+	if rep.Graduated > 0 {
+		p.SpecLoadsPerKI = 1000 * float64(rep.SpeculativeLoads) / float64(rep.Graduated)
+		p.SquashesPerKI = 1000 * float64(rep.Squashes) / float64(rep.Graduated)
+	}
+	if rep.Cycles > 0 && p.Threads > 0 {
+		p.LoDStallFrac = float64(rep.LoDStalls) / float64(rep.Cycles*int64(p.Threads))
+	}
+}
+
+// Lookup returns the first point matching the configuration (nil when
+// the grid did not include it).
+func (r *D1Result) Lookup(threads int, frac float64, lod int64) *D1Point {
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.Threads == threads && p.SpecFrac == frac && p.LoDEvery == lod {
+			return p
+		}
+	}
+	return nil
+}
+
+// Table renders the study.
+func (r *D1Result) Table() string {
+	var b strings.Builder
+	header := []string{"threads", "spec-frac", "lod-every", "IPC", "spec/kI", "squash/kI", "lod-stall"}
+	var rows [][]string
+	for _, p := range r.Points {
+		lod := "never"
+		if p.LoDEvery > 0 {
+			lod = strconv.FormatInt(p.LoDEvery, 10)
+		}
+		rows = append(rows, []string{
+			strconv.Itoa(p.Threads),
+			fmt.Sprintf("%.2f", p.SpecFrac),
+			lod,
+			f2(p.IPC),
+			f1(p.SpecLoadsPerKI),
+			f2(p.SquashesPerKI),
+			pct(p.LoDStallFrac),
+		})
+	}
+	b.WriteString(formatTable(
+		"Figure D1: speculative-DAE — IPC vs contexts × speculation aggressiveness × loss-of-decoupling rate (L2=64)",
+		header, rows))
+	return b.String()
+}

@@ -45,6 +45,15 @@ type Interconnect struct {
 	// coherence traffic triggered from any core's access path books bus
 	// time at the right cycle.
 	now int64
+
+	// disjoint declares that no line is ever cached by two cores (the
+	// workload gives every context a private address space, as the
+	// built-in generators do). The *functional* warm path then skips its
+	// write-invalidate broadcast — a pure optimization, equivalent by
+	// construction since the broadcast could never find a remote copy.
+	// The timed coherence path is untouched: its probes book counters
+	// and the equivalence is the workload's claim, not the machine's.
+	disjoint bool
 }
 
 // NewInterconnect builds the shared fabric for the given number of
@@ -122,6 +131,11 @@ func (ic *Interconnect) Cores() int { return ic.cores }
 // System returns core c's private memory system (L1 + ports + MSHRs over
 // the shared fabric).
 func (ic *Interconnect) System(c int) *System { return ic.systems[c] }
+
+// SetDisjointAddressSpaces declares (or retracts) the workload's promise
+// that no two cores ever touch the same line, letting the functional
+// warm path skip its invalidate broadcast (see the disjoint field).
+func (ic *Interconnect) SetDisjointAddressSpaces(v bool) { ic.disjoint = v }
 
 // eachLevel visits every level the interconnect owns (shared chain or
 // all private chains).

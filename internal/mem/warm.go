@@ -50,7 +50,10 @@ func (s *System) Warm(addr uint64, store bool) {
 	}
 	if store {
 		l1.SetDirty(line)
-		if s.ic != nil {
+		// With a declared-disjoint workload no remote copy can exist, so
+		// the broadcast is skipped — the dominant cost of warming a
+		// many-core machine through a sampling gap.
+		if s.ic != nil && !s.ic.disjoint {
 			s.ic.warmInvalidate(s.coreID, line)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/traceio"
 	"repro/internal/workload"
 )
 
@@ -33,7 +34,23 @@ const (
 	// KindCustom runs a caller-defined benchmark model (Workload.Custom)
 	// on every context, like KindBench runs a built-in.
 	KindCustom WorkloadKind = "custom"
+	// KindTrace replays an ingested trace file (Workload.Trace): each
+	// context replays one of the file's streams via workload.TraceSources.
+	KindTrace WorkloadKind = "trace"
 )
+
+// TraceRef locates a trace file for KindTrace. The *reference* is what
+// hashes — the job hash names the result of replaying whatever the path
+// holds, so replacing a file's content behind an unchanged path reuses
+// the stale cache entry (the same contract file-driven simulators
+// conventionally accept; dae-sweep's cache can be cleared per file).
+type TraceRef struct {
+	// Path is the trace file location.
+	Path string
+	// Format names the on-disk format ("container", "legacy", "bin",
+	// "text"); empty sniffs the magic bytes (traceio.FormatAuto).
+	Format string `json:",omitempty"`
+}
 
 // Workload is the canonical description of a job's instruction streams.
 // It is part of the job hash, so two workloads with equal fields are
@@ -48,6 +65,10 @@ type Workload struct {
 	// identical to the pre-custom cache schema, so existing on-disk
 	// entries stay valid).
 	Custom *workload.Benchmark `json:",omitempty"`
+	// Trace locates the trace file for KindTrace. It must be nil for the
+	// other kinds (omitempty keeps every generator-workload job hash —
+	// and on-disk cache entry — identical to the pre-trace schema).
+	Trace *TraceRef `json:",omitempty"`
 	// SegmentLen overrides the mix rotation length for KindMix (0 =
 	// workload.DefaultSegmentLen).
 	SegmentLen int64
@@ -68,6 +89,11 @@ func BenchWorkload(name string, seed uint64) Workload {
 // CustomWorkload describes a caller-defined benchmark model.
 func CustomWorkload(b workload.Benchmark, seed uint64) Workload {
 	return Workload{Kind: KindCustom, Custom: &b, Seed: seed}
+}
+
+// TraceWorkload describes an ingested trace file replay.
+func TraceWorkload(path, format string) Workload {
+	return Workload{Kind: KindTrace, Trace: &TraceRef{Path: path, Format: format}}
 }
 
 // Budget is a job's instruction budget in machine-wide totals (callers
@@ -150,6 +176,13 @@ func (j Job) Validate() error {
 		if err := j.Workload.Custom.Validate(); err != nil {
 			return fmt.Errorf("runner: job %q: %w", j.Key, err)
 		}
+	case KindTrace:
+		if j.Workload.Trace == nil || j.Workload.Trace.Path == "" {
+			return fmt.Errorf("runner: job %q: trace workload without a trace path", j.Key)
+		}
+		if _, err := traceio.ParseFormat(j.Workload.Trace.Format); err != nil {
+			return fmt.Errorf("runner: job %q: %w", j.Key, err)
+		}
 	default:
 		return fmt.Errorf("runner: job %q: unknown workload kind %q", j.Key, j.Workload.Kind)
 	}
@@ -213,6 +246,12 @@ func (j Job) sources() ([]trace.Reader, error) {
 			return nil, fmt.Errorf("custom workload without a benchmark model")
 		}
 		return j.benchSources(*j.Workload.Custom), nil
+	case KindTrace:
+		if j.Workload.Trace == nil {
+			return nil, fmt.Errorf("trace workload without a trace reference")
+		}
+		return workload.TraceSources(j.Workload.Trace.Path, j.Workload.Trace.Format,
+			j.Machine.TotalContexts())
 	default:
 		return nil, fmt.Errorf("unknown workload kind %q", j.Workload.Kind)
 	}
@@ -230,14 +269,18 @@ func (j Job) Execute(ctx context.Context, onProgress func(sim.Snapshot), every i
 		return stats.Report{}, fmt.Errorf("runner: job %q: %w", j.Key, err)
 	}
 	o := sim.Options{
-		Machine:       j.Machine,
-		Sources:       srcs,
-		WarmupInsts:   j.Budget.WarmupInsts,
-		MeasureInsts:  j.Budget.MeasureInsts,
-		MaxCycles:     j.Budget.MaxCycles,
-		Mode:          j.Budget.Mode,
-		OnProgress:    onProgress,
-		ProgressEvery: every,
+		Machine:      j.Machine,
+		Sources:      srcs,
+		WarmupInsts:  j.Budget.WarmupInsts,
+		MeasureInsts: j.Budget.MeasureInsts,
+		MaxCycles:    j.Budget.MaxCycles,
+		Mode:         j.Budget.Mode,
+		// Every generator workload gives each context a private address
+		// space (ThreadAddrOffset); an imported trace's addresses are
+		// whatever was captured, so only traces withhold the promise.
+		DisjointAddressSpaces: j.Workload.Kind != KindTrace,
+		OnProgress:            onProgress,
+		ProgressEvery:         every,
 	}
 	if j.Budget.Sampling != nil {
 		o.Sampling = *j.Budget.Sampling

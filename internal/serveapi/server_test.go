@@ -8,11 +8,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	daesim "repro"
+	"repro/internal/workload"
 )
 
 // tinyOpts keeps handler-test simulations in the millisecond range.
@@ -443,5 +446,80 @@ func TestRunEndpointSampledRequest(t *testing.T) {
 	stray.Budget.Sampling = &daesim.Sampling{PeriodInsts: 1_000, UnitInsts: 100, WarmupInsts: 100}
 	if code := do(t, http.MethodPost, ts.URL+"/v1/runs", stray, &er); code != http.StatusBadRequest {
 		t.Fatalf("stray sampling outside sampled mode: status %d, want 400", code)
+	}
+}
+
+// TestRunEndpointSpeculationRequest: the speculation knobs ride the
+// request JSON unchanged — the served report carries the new counters,
+// the hash forks from the plain machine, and bad knobs are 400s.
+func TestRunEndpointSpeculationRequest(t *testing.T) {
+	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 1}, 0)
+	m := daesim.Figure2(2).WithSpeculation(
+		daesim.Speculation{SpecLoadFrac: 0.5, MisspecProb: 0.2, LoDEvery: 300})
+	req := daesim.MixRequest(m, tinyOpts())
+
+	var rr RunResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/runs", req, &rr); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if rr.Hash != req.Hash() {
+		t.Errorf("served hash %s, want %s", rr.Hash, req.Hash())
+	}
+	if rr.Hash == daesim.MixRequest(daesim.Figure2(2), tinyOpts()).Hash() {
+		t.Error("speculative request shares the plain machine's hash")
+	}
+	if rr.Report == nil || rr.Report.SpeculativeLoads == 0 {
+		t.Fatalf("report lost the speculation counters: %+v", rr.Report)
+	}
+
+	bad := daesim.MixRequest(daesim.Figure2(2).WithSpeculation(
+		daesim.Speculation{SpecLoadFrac: 1.5}), tinyOpts())
+	var er ErrorResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/runs", bad, &er); code != http.StatusBadRequest {
+		t.Fatalf("invalid speculation: status %d, want 400", code)
+	}
+}
+
+// TestRunEndpointTraceRequest: a trace workload round-trips through the
+// HTTP surface and reproduces the generator run it was exported from.
+func TestRunEndpointTraceRequest(t *testing.T) {
+	ts, _ := newTestServer(t, daesim.EngineOpts{Workers: 1}, 0)
+	m := daesim.Figure2(2)
+	b, err := daesim.BenchmarkByName("tomcatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tomcatv.dct")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.ExportTrace(f, b, m.TotalContexts(), 0, 10_000, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	req := daesim.TraceRequest(path, "", m, tinyOpts())
+	var rr RunResponse
+	if code := do(t, http.MethodPost, ts.URL+"/v1/runs", req, &rr); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if rr.Report == nil || rr.Report.IPC() <= 0 {
+		t.Fatalf("degenerate trace report: %+v", rr.Report)
+	}
+	want, err := daesim.RunBenchmark("tomcatv", m, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Report.IPC() != want.IPC() {
+		t.Errorf("trace replay IPC %v, generator %v", rr.Report.IPC(), want.IPC())
+	}
+
+	var er ErrorResponse
+	bad := daesim.TraceRequest("", "", m, tinyOpts())
+	if code := do(t, http.MethodPost, ts.URL+"/v1/runs", bad, &er); code != http.StatusBadRequest {
+		t.Fatalf("empty trace path: status %d, want 400", code)
 	}
 }

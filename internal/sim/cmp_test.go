@@ -80,6 +80,48 @@ func TestCMPRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestCMPDisjointWarmEquivalence: declaring disjoint address spaces only
+// skips the functional warm path's write-invalidate broadcast, so with
+// genuinely disjoint sources (every generator workload) the results must
+// be byte-identical with the optimization on and off. Sampled mode is the
+// interesting arm — its warp gaps drive Warm for every instruction — but
+// the exact path is pinned too.
+func TestCMPDisjointWarmEquivalence(t *testing.T) {
+	m := config.Figure2(2).WithCores(2).
+		WithHierarchy(64, config.SharedL2(64<<10, 8))
+	n := m.TotalContexts()
+	for _, mode := range []Mode{ModeExact, ModeSampled} {
+		name := "exact"
+		if mode != ModeExact {
+			name = string(mode)
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(disjoint bool) Result {
+				opts := Options{
+					Machine:               m,
+					Sources:               mixSources(t, n, 11),
+					WarmupInsts:           shortWarmup * int64(n),
+					MeasureInsts:          shortMeasure * int64(n) * 4,
+					Mode:                  mode,
+					DisjointAddressSpaces: disjoint,
+				}
+				if mode == ModeSampled {
+					opts.Sampling = Sampling{PeriodInsts: 5_000, UnitInsts: 500, WarmupInsts: 1_000}
+				}
+				res, err := Run(context.Background(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			on, off := run(true), run(false)
+			if !reflect.DeepEqual(on, off) {
+				t.Fatalf("disjoint-warm skip changed the result:\non:  %+v\noff: %+v", on, off)
+			}
+		})
+	}
+}
+
 // TestCMPRespectsMaxCycles: the cycle cap applies to the lockstep chip
 // clock.
 func TestCMPRespectsMaxCycles(t *testing.T) {

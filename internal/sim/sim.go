@@ -127,6 +127,13 @@ type Options struct {
 	// Sampling parameterizes ModeSampled (ignored otherwise; zero fields
 	// take the documented defaults).
 	Sampling Sampling
+	// DisjointAddressSpaces declares that the sources give every context
+	// a private address space (true for every built-in generator
+	// workload; false for imported traces, whose addresses are whatever
+	// was captured). On CMP machines the functional warm path then skips
+	// its write-invalidate broadcast — a pure optimization, never part
+	// of a request hash, with results equivalent by construction.
+	DisjointAddressSpaces bool
 	// Stepped forces cycle-by-cycle simulation, disabling the core's
 	// event-calendar fast-forward over idle stretches. Results are
 	// bit-identical either way (enforced by the equivalence tests);
@@ -212,6 +219,9 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 	m, err := build(opts.Machine, opts.Sources)
 	if err != nil {
 		return Result{}, err
+	}
+	if cm, ok := m.(cmpMachine); ok && opts.DisjointAddressSpaces {
+		cm.p.Interconnect().SetDisjointAddressSpaces(true)
 	}
 	r := newRunner(ctx, opts, mode, m)
 	if mode == ModeSampled {

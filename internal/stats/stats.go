@@ -143,6 +143,18 @@ type Collector struct {
 	LoadConflictStalls int64
 	// StoreForwards counts loads satisfied by SAQ forwarding (ablation).
 	StoreForwards int64
+
+	// SpeculativeLoads, Squashes and LoDStalls instrument the
+	// speculative-DAE extension (config.Speculation): loads hoisted
+	// speculatively into the access slice, speculative loads that
+	// misspeculated and squashed their thread's fetch stream, and
+	// context-cycles fetch held at a loss-of-decoupling event waiting
+	// for the execute queue to drain. All zero — and omitted from the
+	// JSON encoding, pinning every non-speculative report hash — when
+	// the extension is off.
+	SpeculativeLoads int64 `json:",omitempty"`
+	Squashes         int64 `json:",omitempty"`
+	LoDStalls        int64 `json:",omitempty"`
 }
 
 // Reset zeroes the collector.
@@ -173,6 +185,9 @@ func (c *Collector) MergeCore(o *Collector) {
 	c.DispatchStalls += o.DispatchStalls
 	c.LoadConflictStalls += o.LoadConflictStalls
 	c.StoreForwards += o.StoreForwards
+	c.SpeculativeLoads += o.SpeculativeLoads
+	c.Squashes += o.Squashes
+	c.LoDStalls += o.LoDStalls
 }
 
 // IPC returns graduated instructions per cycle.
@@ -258,6 +273,10 @@ func (r Report) String() string {
 		r.PerceivedInt.Mean(), r.PerceivedInt.Count,
 		r.Perceived().Mean())
 	fmt.Fprintf(&b, "branches: %d mispredict=%.2f%%\n", r.Branches, 100*r.MispredictRate())
+	if r.SpeculativeLoads > 0 || r.Squashes > 0 || r.LoDStalls > 0 {
+		fmt.Fprintf(&b, "speculation: spec-loads=%d squashes=%d lod-stalls=%d\n",
+			r.SpeculativeLoads, r.Squashes, r.LoDStalls)
+	}
 	fmt.Fprintf(&b, "L1: load-miss=%.2f%% store-miss=%.2f%% writebacks=%d bus-util=%.1f%%\n",
 		100*r.Mem.LoadMissRatio(), 100*r.Mem.StoreMissRatio(), r.Mem.Writebacks, 100*r.BusUtilization)
 	for _, lv := range r.MemLevels {

@@ -1,0 +1,235 @@
+package traceio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// testStream builds a deterministic varied instruction sequence.
+func testStream(seed uint64, n int) []isa.Inst {
+	out := make([]isa.Inst, n)
+	for i := range out {
+		x := seed + uint64(i)*0x9e3779b97f4a7c15
+		in := isa.Inst{PC: 0x1000 + (x%64)*4}
+		switch x % 5 {
+		case 0:
+			in.Op = isa.OpIntALU
+			in.Dest, in.Src1, in.Src2 = isa.IntReg(int(x%32)), isa.IntReg(int(x/7%32)), isa.NoReg
+		case 1:
+			in.Op = isa.OpFPALU
+			in.Dest, in.Src1, in.Src2 = isa.FPReg(int(x%32)), isa.FPReg(int(x/3%32)), isa.FPReg(int(x/5%32))
+		case 2:
+			in.Op = isa.OpLoad
+			in.Dest, in.Src1 = isa.FPReg(int(x%32)), isa.IntReg(1)
+			in.Src2 = isa.NoReg
+			in.Addr, in.Size = 0x40000+(x%4096)*8, 8
+		case 3:
+			in.Op = isa.OpStore
+			in.Src1, in.Src2 = isa.FPReg(int(x%32)), isa.IntReg(2)
+			in.Dest = isa.NoReg
+			in.Addr, in.Size = 0x80000+(x%4096)*8, 8
+		case 4:
+			in.Op = isa.OpBranch
+			in.Dest, in.Src1, in.Src2 = isa.NoReg, isa.IntReg(int(x%32)), isa.NoReg
+			in.Taken = x%3 == 0
+		}
+		out[i] = in
+	}
+	return out
+}
+
+// encodeContainer writes the given streams interleaved per record, so
+// chunks from different streams alternate in the file.
+func encodeContainer(t *testing.T, h Header, streams [][]isa.Inst) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		wrote := false
+		for s := range streams {
+			if i < len(streams[s]) {
+				if err := w.Append(s, &streams[s][i]); err != nil {
+					t.Fatal(err)
+				}
+				wrote = true
+			}
+		}
+		if !wrote {
+			break
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestContainerRoundTrip: a multi-stream container decodes back to the
+// exact record sequences, header included, across chunk boundaries.
+func TestContainerRoundTrip(t *testing.T) {
+	streams := [][]isa.Inst{
+		testStream(1, 5000), // spans several 32KB chunks
+		testStream(2, 1),
+		testStream(3, 1700),
+	}
+	h := Header{Streams: 3, Name: "round-trip", Note: "unit test"}
+	data := encodeContainer(t, h, streams)
+
+	gotH, got, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH != h {
+		t.Fatalf("header mismatch: got %+v want %+v", gotH, h)
+	}
+	for s := range streams {
+		if len(got[s]) != len(streams[s]) {
+			t.Fatalf("stream %d: got %d records, want %d", s, len(got[s]), len(streams[s]))
+		}
+		for i := range streams[s] {
+			if got[s][i] != streams[s][i] {
+				t.Fatalf("stream %d record %d: got %+v want %+v", s, i, got[s][i], streams[s][i])
+			}
+		}
+	}
+}
+
+// TestContainerEmpty: a container with zero records is valid and decodes
+// to empty streams.
+func TestContainerEmpty(t *testing.T) {
+	data := encodeContainer(t, Header{Streams: 2}, [][]isa.Inst{nil, nil})
+	h, streams, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Streams != 2 || len(streams[0])+len(streams[1]) != 0 {
+		t.Fatalf("empty container decoded to %+v, %d/%d records", h, len(streams[0]), len(streams[1]))
+	}
+}
+
+// TestContainerTruncated: cutting the file anywhere after the header
+// must surface ErrTruncated, not a silent short stream.
+func TestContainerTruncated(t *testing.T) {
+	data := encodeContainer(t, Header{Streams: 1}, [][]isa.Inst{testStream(7, 300)})
+	for _, cut := range []int{len(data) - 1, len(data) - 5, len(data) / 2, 20} {
+		_, _, err := ReadAll(bytes.NewReader(data[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d/%d: got %v, want ErrTruncated", cut, len(data), err)
+		}
+	}
+}
+
+// TestContainerCRCMismatch: flipping a payload byte must fail the
+// chunk's checksum.
+func TestContainerCRCMismatch(t *testing.T) {
+	data := encodeContainer(t, Header{Streams: 1}, [][]isa.Inst{testStream(9, 300)})
+	corrupted := append([]byte(nil), data...)
+	corrupted[len(data)/2] ^= 0x40 // mid-file: inside the first chunk's payload
+	_, _, err := ReadAll(bytes.NewReader(corrupted))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
+	}
+}
+
+// TestContainerUnknownVersion: a future version must be rejected with
+// the sentinel, not misparsed.
+func TestContainerUnknownVersion(t *testing.T) {
+	data := encodeContainer(t, Header{Streams: 1}, [][]isa.Inst{testStream(11, 4)})
+	// The version uvarint is the byte right after the 8-byte magic.
+	if data[8] != ContainerVersion {
+		t.Fatalf("test assumes single-byte version varint, got %#x", data[8])
+	}
+	data[8] = ContainerVersion + 1
+	if _, err := NewDecoder(bytes.NewReader(data)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("got %v, want ErrBadVersion", err)
+	}
+}
+
+// TestContainerBadMagic: foreign files are rejected up front.
+func TestContainerBadMagic(t *testing.T) {
+	if _, err := NewDecoder(bytes.NewReader([]byte("NOTATRCE-rest"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+// TestContainerTerminatorTotal: a terminator disagreeing with the
+// decoded record count is corruption (e.g. spliced files).
+func TestContainerTerminatorTotal(t *testing.T) {
+	data := encodeContainer(t, Header{Streams: 1}, [][]isa.Inst{testStream(13, 3)})
+	// The terminator is the trailing "0 total" uvarint pair; patch total.
+	total := data[len(data)-1]
+	if total != 3 {
+		t.Fatalf("test assumes single-byte total varint, got %#x", total)
+	}
+	data[len(data)-1] = 5
+	_, _, err := ReadAll(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWriterValidation: stream bounds and op validity are enforced at
+// append time, before bytes hit the file.
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, Header{Streams: 0}); err == nil {
+		t.Fatal("zero-stream header accepted")
+	}
+	w, err := NewWriter(&buf, Header{Streams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testStream(1, 1)[0]
+	if err := w.Append(1, &in); err == nil {
+		t.Fatal("out-of-range stream accepted")
+	}
+	bad := isa.Inst{Op: isa.Op(7)}
+	if err := w.Append(0, &bad); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+// TestDecoderStreamCounts: Next reports the originating stream of every
+// record and Counts tracks the per-stream totals.
+func TestDecoderStreamCounts(t *testing.T) {
+	streams := [][]isa.Inst{testStream(20, 40), testStream(21, 25)}
+	data := encodeContainer(t, Header{Streams: 2}, streams)
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in isa.Inst
+	got := make([]int64, 2)
+	for {
+		s, ok := d.Next(&in)
+		if !ok {
+			break
+		}
+		got[s]++
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 40 || got[1] != 25 {
+		t.Fatalf("per-stream counts %v, want [40 25]", got)
+	}
+	if c := d.Counts(); c[0] != 40 || c[1] != 25 {
+		t.Fatalf("Counts() = %v", c)
+	}
+}
+
+// TestUvarintAssumption pins the encoding detail the corruption tests
+// rely on (single-byte varints for small values).
+func TestUvarintAssumption(t *testing.T) {
+	var buf [binary.MaxVarintLen64]byte
+	if n := binary.PutUvarint(buf[:], 5); n != 1 {
+		t.Fatalf("uvarint(5) = %d bytes", n)
+	}
+}

@@ -107,6 +107,59 @@ func TestInternBudgetFallback(t *testing.T) {
 	}
 }
 
+// TestTraceFileBudgetFallback: ingesting a trace file that would blow
+// the intern budget must fall back to uncached (live) service — correct
+// streams, nothing pinned in the registry — and ingest normally once
+// the budget allows it.
+func TestTraceFileBudgetFallback(t *testing.T) {
+	saved := InternBudgetBytes
+	defer func() { InternBudgetBytes = saved }()
+
+	const contexts, n = 1, 400
+	path := exportToFile(t, "apsi", contexts, 0xF411BACC, n)
+	b, err := ByName("apsi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := readN(t, b.NewReader(ReaderOpts{AddrOffset: ThreadAddrOffset(0), Seed: 0xF411BACC}), n)
+
+	// A 1-byte budget cannot retain any decode: live fallback.
+	InternBudgetBytes = 1
+	entriesBefore := traceFileStats()
+	sources, err := TraceSources(path, "container", contexts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readN(t, sources[0], n)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs under budget fallback", i)
+		}
+	}
+	if after := traceFileStats(); after != entriesBefore {
+		t.Fatalf("budget-exceeded ingest pinned a registry entry (%d -> %d)", entriesBefore, after)
+	}
+
+	// With headroom the same file is retained and re-served bit-identically.
+	InternBudgetBytes = saved
+	if _, err := TraceSources(path, "container", contexts); err != nil {
+		t.Fatal(err)
+	}
+	if after := traceFileStats(); after != entriesBefore+1 {
+		t.Fatalf("in-budget ingest not retained (%d -> %d)", entriesBefore, after)
+	}
+	sources, err = TraceSources(path, "container", contexts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = readN(t, sources[0], n)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs from the retained registry entry", i)
+		}
+	}
+}
+
 // TestInternDisabled: a zero budget bypasses interning entirely.
 func TestInternDisabled(t *testing.T) {
 	saved := InternBudgetBytes

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// exportToFile writes a benchmark capture to a temp container file.
+func exportToFile(t *testing.T, name string, contexts int, seed uint64, perStream int64) string {
+	t.Helper()
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	counts, err := ExportTrace(&buf, b, contexts, seed, perStream, "unit test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, c := range counts {
+		if c != perStream {
+			t.Fatalf("stream %d captured %d records, want %d", s, c, perStream)
+		}
+	}
+	path := filepath.Join(t.TempDir(), name+".dct")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceSourcesMatchGenerator: replaying an exported container feeds
+// every context the exact records the generator construction would —
+// the invariant behind the end-to-end byte-identity guarantee.
+func TestTraceSourcesMatchGenerator(t *testing.T) {
+	const contexts, n = 2, 3000
+	path := exportToFile(t, "swim", contexts, 5, n)
+	sources, err := TraceSources(path, "container", contexts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ctx := 0; ctx < contexts; ctx++ {
+		want := readN(t, b.NewReader(ReaderOpts{AddrOffset: ThreadAddrOffset(ctx), Seed: 5 + uint64(ctx)}), n)
+		got := readN(t, sources[ctx], n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ctx %d record %d: got %+v want %+v", ctx, i, got[i], want[i])
+			}
+		}
+		var extra isa.Inst
+		if sources[ctx].Next(&extra) {
+			t.Fatalf("ctx %d stream longer than the %d exported records", ctx, n)
+		}
+	}
+}
+
+// TestTraceSourcesReplication: fewer streams than contexts replicates
+// streams modulo S, relocated by the thread address-offset delta so
+// contexts keep disjoint address spaces.
+func TestTraceSourcesReplication(t *testing.T) {
+	const n = 500
+	path := exportToFile(t, "mgrid", 1, 9, n)
+	sources, err := TraceSources(path, "", 3) // "" = auto-detect
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := readN(t, sources[0], n)
+	repl := readN(t, sources[2], n)
+	delta := ThreadAddrOffset(2) - ThreadAddrOffset(0)
+	for i := range base {
+		want := base[i]
+		if want.IsMem() {
+			want.Addr += delta
+		}
+		if repl[i] != want {
+			t.Fatalf("record %d: got %+v want %+v", i, repl[i], want)
+		}
+	}
+}
+
+// TestTraceSourcesErrors: bad paths, formats and context counts are
+// rejected.
+func TestTraceSourcesErrors(t *testing.T) {
+	if _, err := TraceSources("/nonexistent/trace.dct", "", 1); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := TraceSources("x", "elf", 1); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := TraceSources("x", "", 0); err == nil {
+		t.Error("zero contexts accepted")
+	}
+}
+
+// TestCatalog: every built-in appears with provenance and a positive
+// footprint, in the paper's order.
+func TestCatalog(t *testing.T) {
+	entries := Catalog()
+	names := Names()
+	if len(entries) != len(names) {
+		t.Fatalf("catalog has %d entries, want %d", len(entries), len(names))
+	}
+	for i, e := range entries {
+		if e.Name != names[i] {
+			t.Errorf("entry %d is %q, want %q", i, e.Name, names[i])
+		}
+		if e.Kind != "generator" || e.Provenance == "" || e.FootprintBytes <= 0 ||
+			e.Streams <= 0 || e.Kernels <= 0 || e.InstsPerIteration <= 0 {
+			t.Errorf("entry %q incomplete: %+v", e.Name, e)
+		}
+	}
+	if _, err := CatalogByName("swim"); err != nil {
+		t.Error(err)
+	}
+	if _, err := CatalogByName("doom"); err == nil {
+		t.Error("unknown catalog name accepted")
+	}
+}
+
+// TestDecodeTraceStreamsFormats: the per-format decode paths agree on
+// the same records.
+func TestDecodeTraceStreamsFormats(t *testing.T) {
+	b, err := ByName("turb3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := readN(t, b.NewReader(ReaderOpts{Seed: 3}), 200)
+
+	var legacy bytes.Buffer
+	lw, err := trace.NewWriter(&legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lw.WriteAll(trace.Slice(want)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	streams, err := decodeTraceStreams(&legacy, "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 1 || len(streams[0]) != len(want) {
+		t.Fatalf("legacy decode shape %d/%d", len(streams), len(streams[0]))
+	}
+	for i := range want {
+		if streams[0][i] != want[i] {
+			t.Fatalf("legacy record %d differs", i)
+		}
+	}
+}

@@ -2,9 +2,12 @@ package daesim
 
 import (
 	"fmt"
+	"path/filepath"
 
+	"repro/internal/config"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/traceio"
 	"repro/internal/workload"
 )
 
@@ -21,7 +24,25 @@ const (
 	WorkloadBench WorkloadKind = "bench"
 	// WorkloadCustom runs a caller-defined Benchmark model the same way.
 	WorkloadCustom WorkloadKind = "custom"
+	// WorkloadTrace replays an ingested trace file: a container exported
+	// by `dae-trace export` (or an imported external trace) feeds one
+	// stream per context, streams replicating modulo the context count
+	// with per-context address relocation when the shapes differ.
+	WorkloadTrace WorkloadKind = "trace"
 )
+
+// TraceRef locates the trace file of a WorkloadTrace request. The
+// reference is what hashes: the hash names the result of replaying
+// whatever the path holds, so replacing file content behind an unchanged
+// path reuses the stale cache entry.
+type TraceRef struct {
+	// Path is the trace file location.
+	Path string `json:"path"`
+	// Format names the on-disk format ("container", "legacy", "bin",
+	// "text"); empty — the canonical spelling of "auto" — sniffs the
+	// magic bytes.
+	Format string `json:"format,omitempty"`
+}
 
 // Workload is the serializable description of a Request's instruction
 // streams. An empty Kind normalizes to WorkloadMix.
@@ -31,6 +52,9 @@ type Workload struct {
 	Bench string `json:"bench,omitempty"`
 	// Custom is the benchmark model for WorkloadCustom.
 	Custom *Benchmark `json:"custom,omitempty"`
+	// Trace locates the trace file for WorkloadTrace (nil otherwise; the
+	// omitempty keeps every generator-workload request hash pinned).
+	Trace *TraceRef `json:"trace,omitempty"`
 	// SegmentLen overrides the mix rotation length for WorkloadMix
 	// (0 = the default).
 	SegmentLen int64 `json:"segmentLen,omitempty"`
@@ -126,6 +150,16 @@ func CustomRequest(b Benchmark, m Machine, opts RunOpts) Request {
 	}.Normalized()
 }
 
+// TraceRequest describes the replay of a trace file on machine m. An
+// empty format sniffs the file's magic bytes.
+func TraceRequest(path, format string, m Machine, opts RunOpts) Request {
+	return Request{
+		Machine:  m,
+		Workload: Workload{Kind: WorkloadTrace, Trace: &TraceRef{Path: path, Format: format}},
+		Budget:   budgetFrom(opts),
+	}.Normalized()
+}
+
 func budgetFrom(opts RunOpts) Budget {
 	return Budget{
 		WarmupInsts:  opts.WarmupInsts,
@@ -188,6 +222,36 @@ func (r Request) Normalized() Request {
 	if r.Machine.Cores == 1 {
 		r.Machine.Cores = 0
 	}
+	// Speculation canonicalization: the all-zero block is "off" and folds
+	// to the canonical nil, and an active block's zero squash penalty is
+	// spelled out (DefaultSquashCycles) so a request relying on the
+	// default hashes identically to one writing it. The input's block is
+	// never mutated — requests are values.
+	if s := r.Machine.Spec; s != nil {
+		switch {
+		case *s == (config.Speculation{}):
+			r.Machine.Spec = nil
+		case s.SpecLoadFrac > 0 && s.SquashCycles == 0:
+			cp := *s
+			cp.SquashCycles = config.DefaultSquashCycles
+			r.Machine.Spec = &cp
+		}
+	}
+	// Trace canonicalization: "auto" spelled out folds to the empty
+	// string, and the path is lexically cleaned, so trivially different
+	// spellings of the same reference share one hash (and cache entry).
+	if t := r.Workload.Trace; t != nil {
+		cp := *t
+		if cp.Format == string(traceio.FormatAuto) {
+			cp.Format = ""
+		}
+		if cp.Path != "" { // Clean("") is "."; keep "" so Validate rejects it
+			cp.Path = filepath.Clean(cp.Path)
+		}
+		if cp != *t {
+			r.Workload.Trace = &cp
+		}
+	}
 	return r
 }
 
@@ -234,6 +298,9 @@ func (r Request) Validate() error {
 	// field is part of the content hash, so a bench request carrying a
 	// leftover SegmentLen (say) would hash — and cache — apart from the
 	// canonical spelling of the same run.
+	if n.Workload.Kind != WorkloadTrace && n.Workload.Trace != nil {
+		return invalid("trace reference applies only to trace workloads")
+	}
 	switch n.Workload.Kind {
 	case WorkloadMix:
 		if n.Workload.Bench != "" || n.Workload.Custom != nil {
@@ -260,6 +327,24 @@ func (r Request) Validate() error {
 			return invalid("custom workload without a benchmark model")
 		}
 		if err := n.Workload.Custom.Validate(); err != nil {
+			return fmt.Errorf("%w: %w", ErrInvalidRequest, err)
+		}
+	case WorkloadTrace:
+		if n.Workload.Bench != "" || n.Workload.Custom != nil {
+			return invalid("trace workload must not also name a benchmark")
+		}
+		if n.Workload.SegmentLen != 0 {
+			return invalid("segment length applies only to mix workloads")
+		}
+		if n.Workload.Seed != 0 {
+			// A replay has no data-dependent randomness to perturb; the
+			// stray seed would hash the same run apart.
+			return invalid("seed applies only to generator workloads")
+		}
+		if n.Workload.Trace == nil || n.Workload.Trace.Path == "" {
+			return invalid("trace workload without a trace path")
+		}
+		if _, err := traceio.ParseFormat(n.Workload.Trace.Format); err != nil {
 			return fmt.Errorf("%w: %w", ErrInvalidRequest, err)
 		}
 	default:
@@ -292,6 +377,7 @@ func (r Request) job() runner.Job {
 			Kind:       runner.WorkloadKind(r.Workload.Kind),
 			Bench:      r.Workload.Bench,
 			Custom:     r.Workload.Custom,
+			Trace:      r.Workload.Trace.toRunner(),
 			SegmentLen: r.Workload.SegmentLen,
 			Seed:       r.Workload.Seed,
 		},
@@ -303,6 +389,14 @@ func (r Request) job() runner.Job {
 			Sampling:     r.Budget.Sampling.toSim(),
 		},
 	}
+}
+
+// toRunner converts the serializable trace reference to the runner's.
+func (t *TraceRef) toRunner() *runner.TraceRef {
+	if t == nil {
+		return nil
+	}
+	return &runner.TraceRef{Path: t.Path, Format: t.Format}
 }
 
 // toSim converts the serializable sampling schedule to the simulator's.
@@ -331,6 +425,11 @@ func (r Request) label() string {
 		what = "custom"
 		if r.Workload.Custom != nil && r.Workload.Custom.Name != "" {
 			what = r.Workload.Custom.Name
+		}
+	case WorkloadTrace:
+		what = "trace"
+		if r.Workload.Trace != nil {
+			what = "trace:" + filepath.Base(r.Workload.Trace.Path)
 		}
 	}
 	cores := ""

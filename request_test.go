@@ -217,6 +217,25 @@ func TestRequestHashesPinned(t *testing.T) {
 		}(),
 			"55306547d455ce5ef9109fc66d86afaa755d222954cdfda9132741f9ec33dadd"},
 	}...)
+	// Trace-replay and speculative-DAE requests (PR 9): pinned at
+	// introduction. Workload.Trace and Machine.Spec are omitempty and
+	// fold to nothing when absent, so these join the schema without
+	// moving any hash above; a speculation block always hashes with its
+	// squash penalty spelled out.
+	pinned = append(pinned, []struct {
+		name string
+		req  Request
+		hash string
+	}{
+		{"trace t=4", TraceRequest("traces/swim.dct", "", Figure2(4), RunOpts{}),
+			"e4fc435a99fa411ce6500cf79175c9e180ce84f76c70d16a10ab97a335316fd2"},
+		{"spec t=4", MixRequest(Figure2(4).WithSpeculation(
+			Speculation{SpecLoadFrac: 0.3, MisspecProb: 0.05, LoDEvery: 500}), RunOpts{}),
+			"7775e919901691f767890c26120a85d11baeeaadce502a1b83cb2c372ebf773b"},
+		{"lod only t=1", MixRequest(Figure2(1).WithSpeculation(
+			Speculation{LoDEvery: 200}), RunOpts{}),
+			"5d44b9cfc20505aa29f093931b6498fe9f6ca7be24216da84be176608eb522cd"},
+	}...)
 	for _, p := range pinned {
 		if got := p.req.Hash(); got != p.hash {
 			t.Errorf("%s: hash %s, want pinned %s (cache schema broken)", p.name, got, p.hash)
@@ -362,5 +381,108 @@ func TestRequestLabelDerivation(t *testing.T) {
 	req.Label = "mine"
 	if req.label() != "mine" {
 		t.Error("explicit label not honoured")
+	}
+}
+
+func TestRequestSpeculationNormalization(t *testing.T) {
+	base := MixRequest(Figure2(2), RunOpts{})
+
+	// An all-zero speculation block is the disabled model: it folds to nil
+	// and hashes as the plain machine, so "no speculation" has one hash.
+	zero := MixRequest(Figure2(2).WithSpeculation(Speculation{}), RunOpts{})
+	if zero.Hash() != base.Hash() {
+		t.Error("zero speculation block forked the hash from the plain machine")
+	}
+	if zero.Normalized().Machine.Spec != nil {
+		t.Error("zero speculation block did not normalize to nil")
+	}
+
+	// A defaulted squash penalty hashes as the spelled-out default.
+	implicit := MixRequest(Figure2(2).WithSpeculation(
+		Speculation{SpecLoadFrac: 0.4}), RunOpts{})
+	explicit := MixRequest(Figure2(2).WithSpeculation(
+		Speculation{SpecLoadFrac: 0.4, SquashCycles: DefaultSquashCycles}), RunOpts{})
+	if implicit.Hash() != explicit.Hash() {
+		t.Error("defaulted and spelled-out squash penalties hash differently")
+	}
+	// Normalization copies; the input request's block is untouched.
+	m := Figure2(2).WithSpeculation(Speculation{SpecLoadFrac: 0.4})
+	Request{Machine: m}.Normalized()
+	if got := m.Spec.SquashCycles; got != 0 {
+		t.Errorf("Normalized mutated the input's speculation block (SquashCycles=%d)", got)
+	}
+
+	// An LoD-only block keeps SquashCycles at zero: there is nothing to
+	// squash without speculative loads, so no default is invented.
+	lod := MixRequest(Figure2(1).WithSpeculation(Speculation{LoDEvery: 100}), RunOpts{})
+	if got := lod.Normalized().Machine.Spec.SquashCycles; got != 0 {
+		t.Errorf("LoD-only block grew a squash penalty (%d)", got)
+	}
+
+	bad := []struct {
+		name string
+		spec Speculation
+	}{
+		{"frac above one", Speculation{SpecLoadFrac: 1.5}},
+		{"negative frac", Speculation{SpecLoadFrac: -0.1}},
+		{"misspec above one", Speculation{SpecLoadFrac: 0.5, MisspecProb: 2}},
+		{"negative squash", Speculation{SpecLoadFrac: 0.5, SquashCycles: -1}},
+		{"negative lod", Speculation{LoDEvery: -3}},
+		{"misspec without loads", Speculation{MisspecProb: 0.2}},
+	}
+	for _, tc := range bad {
+		req := MixRequest(Figure2(1).WithSpeculation(tc.spec), RunOpts{})
+		if err := req.Validate(); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: %v, want ErrInvalidConfig", tc.name, err)
+		}
+	}
+}
+
+func TestRequestTraceNormalizationAndValidation(t *testing.T) {
+	// The explicit "auto" format is the empty default spelled out, and
+	// redundant path segments do not fork the hash.
+	a := TraceRequest("traces/swim.dct", "", Figure2(2), RunOpts{})
+	b := TraceRequest("traces/swim.dct", "auto", Figure2(2), RunOpts{})
+	c := TraceRequest("./traces//swim.dct", "", Figure2(2), RunOpts{})
+	if a.Hash() != b.Hash() {
+		t.Error(`format "auto" hashes differently from the empty default`)
+	}
+	if a.Hash() != c.Hash() {
+		t.Error("uncleaned trace path forked the hash")
+	}
+	if got := b.Normalized().Workload.Trace.Format; got != "" {
+		t.Errorf(`format "auto" normalized to %q, want ""`, got)
+	}
+	// A distinct explicit format is a different request.
+	d := TraceRequest("traces/swim.dct", "legacy", Figure2(2), RunOpts{})
+	if a.Hash() == d.Hash() {
+		t.Error("explicit legacy format did not change the hash")
+	}
+
+	if err := a.Validate(); err != nil {
+		t.Fatalf("valid trace request rejected: %v", err)
+	}
+	bad := []struct {
+		name   string
+		mutate func(*Request)
+	}{
+		{"stray trace on mix", func(r *Request) {
+			*r = MixRequest(Figure2(1), RunOpts{})
+			r.Workload.Trace = &TraceRef{Path: "x.dct"}
+		}},
+		{"missing reference", func(r *Request) { r.Workload.Trace = nil }},
+		{"empty path", func(r *Request) { r.Workload.Trace = &TraceRef{} }},
+		{"unknown format", func(r *Request) { r.Workload.Trace.Format = "pcap" }},
+		{"trace with bench", func(r *Request) { r.Workload.Bench = "swim" }},
+		{"trace with seed", func(r *Request) { r.Workload.Seed = 9 }},
+		{"trace with segment", func(r *Request) { r.Workload.SegmentLen = 100 }},
+	}
+	for _, tc := range bad {
+		req := a
+		req.Workload.Trace = &TraceRef{Path: a.Workload.Trace.Path, Format: a.Workload.Trace.Format}
+		tc.mutate(&req)
+		if err := req.Validate(); !errors.Is(err, ErrInvalidRequest) {
+			t.Errorf("%s: %v, want ErrInvalidRequest", tc.name, err)
+		}
 	}
 }
