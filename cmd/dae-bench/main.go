@@ -12,13 +12,18 @@
 // fast-forward scheduler skipped. Modes: "adaptive" (the default driver
 // — sim's per-window fast-forward/stepping controller), "run" the plain
 // event-driven scheduler (Core.Step every step), "stepped" the
-// cycle-by-cycle reference, and "sampled" the SMARTS sampling schedule
+// cycle-by-cycle reference, "sampled" the SMARTS sampling schedule
 // over the same budget (an estimate, so its record is about wall-clock,
-// not bit-exact results).
+// not bit-exact results), and "parallel" (CMP configs only) the
+// epoch-parallel scheduler with one goroutine per core — bit-identical
+// results to "run", so the pair measures the intra-run speedup.
 //
 // With -compare old.json,new.json it instead prints a markdown delta
 // table between two snapshots (for the CI bench job) and exits; rows
-// regressing ≥10% in insts/s are flagged.
+// regressing ≥10% in insts/s are flagged, and snapshots recorded under
+// different host fingerprints (num_cpu, goarch, go_version) get a
+// cross-host warning plus per-row annotations instead of being treated
+// as comparable.
 package main
 
 import (
@@ -79,6 +84,7 @@ func configs() []benchConfig {
 		// shared fabric.
 		{"2C1T-sharedL2", sharedL2(config.Figure2(1).WithCores(2))},
 		{"4C1T-sharedL2", sharedL2(config.Figure2(1).WithCores(4))},
+		{"8C1T-sharedL2", sharedL2(config.Figure2(1).WithCores(8))},
 	}
 }
 
@@ -113,10 +119,13 @@ func main() {
 	// every cell catch a quiet window, and cells being compared (adaptive
 	// vs run vs stepped) sample the same windows.
 	best := make(map[string]Record)
-	modes := []string{"adaptive", "run", "stepped", "sampled"}
+	modes := []string{"adaptive", "run", "stepped", "sampled", "parallel"}
 	for pass := 0; pass < *repeat || pass == 0; pass++ {
 		for _, cfg := range configs() {
 			for _, mode := range modes {
+				if mode == "parallel" && cfg.machine.CoreCount() < 2 {
+					continue // epoch-parallel execution needs a CMP
+				}
 				rec, err := measure(cfg, mode, *insts)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "dae-bench:", err)
@@ -131,6 +140,9 @@ func main() {
 	}
 	for _, cfg := range configs() {
 		for _, mode := range modes {
+			if mode == "parallel" && cfg.machine.CoreCount() < 2 {
+				continue
+			}
 			rec := best[cfg.name+"/"+mode]
 			snap.Records = append(snap.Records, rec)
 			fmt.Fprintf(os.Stderr, "%-10s %-8s %8.2f ms/run %12.0f insts/s %6.1f%% skipped\n",
@@ -166,13 +178,22 @@ func measure(cfg benchConfig, mode string, insts int64) (Record, error) {
 	res := testing.Benchmark(func(b *testing.B) {
 		skipped, cycles = 0, 0
 		for i := 0; i < b.N; i++ {
-			if mode == "sampled" {
-				r, err := sim.Run(context.Background(), sim.Options{
+			if mode == "sampled" || mode == "parallel" {
+				o := sim.Options{
 					Machine:      cfg.machine,
 					Sources:      sources(cfg.machine.TotalContexts()),
 					MeasureInsts: insts,
-					Mode:         sim.ModeSampled,
-				})
+				}
+				if mode == "sampled" {
+					o.Mode = sim.ModeSampled
+				} else {
+					// Epoch-parallel exact run: one worker per core,
+					// bit-identical results to the serial "run" rows (its
+					// wall-clock baseline).
+					o.DisjointAddressSpaces = true
+					o.Parallel = cfg.machine.CoreCount()
+				}
+				r, err := sim.Run(context.Background(), o)
 				if err != nil {
 					buildErr = err
 					b.FailNow()
@@ -299,9 +320,32 @@ func compareSnapshots(arg string) error {
 	for _, r := range oldSnap.Records {
 		old[r.Config+"/"+r.Mode] = r
 	}
+	// Wall-clock numbers only compare within one host fingerprint: a
+	// snapshot recorded with a different CPU count (BENCH_8.json was
+	// recorded with num_cpu: 1), architecture or Go version measures a
+	// different machine, so deltas against it are provenance, not
+	// regressions. Surface the mismatch above the table and annotate it.
+	var envDiffs []string
+	for _, d := range []struct{ field, old, new string }{
+		{"num_cpu", fmt.Sprint(oldSnap.NumCPU), fmt.Sprint(newSnap.NumCPU)},
+		{"goarch", oldSnap.GOARCH, newSnap.GOARCH},
+		{"go_version", oldSnap.GoVersion, newSnap.GoVersion},
+	} {
+		if d.old != d.new {
+			envDiffs = append(envDiffs, fmt.Sprintf("%s %s → %s", d.field, d.old, d.new))
+		}
+	}
+	if len(envDiffs) > 0 {
+		fmt.Printf("> ⚠️ **environment changed between snapshots** (%s): wall-clock deltas below compare different hosts and are not comparable as regressions.\n\n",
+			strings.Join(envDiffs, ", "))
+	}
 	fmt.Printf("| config | mode | old insts/s | new insts/s | delta |\n")
 	fmt.Printf("|---|---|---:|---:|---:|\n")
 	warned := false
+	annot := ""
+	if len(envDiffs) > 0 {
+		annot = " *"
+	}
 	for _, r := range newSnap.Records {
 		o, ok := old[r.Config+"/"+r.Mode]
 		if !ok || o.InstsPerS <= 0 {
@@ -309,13 +353,16 @@ func compareSnapshots(arg string) error {
 			continue
 		}
 		delta := 100 * (r.InstsPerS - o.InstsPerS) / o.InstsPerS
-		flag := ""
+		flag := annot
 		if delta <= -10 {
-			flag = " ⚠️"
+			flag += " ⚠️"
 			warned = true
 		}
 		fmt.Printf("| %s | %s | %.0f | %.0f | %+.1f%%%s |\n",
 			r.Config, r.Mode, o.InstsPerS, r.InstsPerS, delta, flag)
+	}
+	if len(envDiffs) > 0 {
+		fmt.Printf("\n\\* cross-host delta (%s)\n", strings.Join(envDiffs, ", "))
 	}
 	if warned {
 		fmt.Printf("\n⚠️ at least one (config, mode) regressed ≥10%% in insts/s vs the previous snapshot.\n")

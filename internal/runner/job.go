@@ -131,6 +131,13 @@ type Job struct {
 	Machine  config.Machine
 	Workload Workload
 	Budget   Budget
+	// Parallel, when > 1, runs an eligible CMP job's cores on up to that
+	// many goroutines in deterministic epochs (sim.Options.Parallel).
+	// Like Key it is an execution hint, NOT part of the hash: parallel
+	// results are bit-identical to serial ones, so the knob must never
+	// split the cache. The Runner sizes it from its shared worker budget
+	// (Options.Parallel); callers normally leave it zero.
+	Parallel int `json:"-"`
 }
 
 // hashable is the canonical hash input. Field order is fixed by the
@@ -279,6 +286,7 @@ func (j Job) Execute(ctx context.Context, onProgress func(sim.Snapshot), every i
 		// space (ThreadAddrOffset); an imported trace's addresses are
 		// whatever was captured, so only traces withhold the promise.
 		DisjointAddressSpaces: j.Workload.Kind != KindTrace,
+		Parallel:              j.Parallel,
 		OnProgress:            onProgress,
 		ProgressEvery:         every,
 	}

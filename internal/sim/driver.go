@@ -127,6 +127,72 @@ type runner struct {
 	polls int64
 	// completed clears when the run hits the cycle cap.
 	completed bool
+
+	// Epoch-parallel execution (Options.Parallel on an eligible CMP
+	// run): epoch drives the cores concurrently, epochDenom is the
+	// machine's maximum graduation rate (instructions per cycle, all
+	// cores), which bounds each epoch's horizon so no window boundary
+	// can fall strictly inside an epoch, and limit is the current
+	// window's instruction bound (set by window; <= 0 = run to drain,
+	// which stays serial). stepErr carries an epoch abort out of the
+	// step callback.
+	epoch      *core.EpochRunner
+	epochDenom int64
+	limit      int64
+	stepErr    error
+}
+
+// epochDenom returns the machine-wide per-cycle graduation bound.
+func epochDenom(mc config.Machine) int64 {
+	d := int64(mc.CoreCount()) * int64(mc.Threads) * int64(mc.GraduateWidth)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Epoch sizing: below minEpochSpan cycles the parallel barrier cannot
+// pay for itself, so the step falls back to the (bit-identical) serial
+// driver; maxEpochSpan bounds an epoch so cancellation polling and the
+// coordinator's event horizon stay responsive.
+const (
+	minEpochSpan = 64
+	maxEpochSpan = 1 << 22
+)
+
+// epochStep advances the machine one parallel epoch. The horizon is
+// chosen so the serial loop could not have stopped strictly inside the
+// epoch: with at most epochDenom instructions graduating per cycle,
+// the window's remaining budget cannot be exhausted before the last
+// epoch cycle, so serial and parallel runs observe every window
+// boundary at the same cycle.
+func (r *runner) epochStep() {
+	m := r.m
+	if r.limit <= 0 {
+		// Run-to-drain window: finite sources can stop the serial loop
+		// anywhere, which no pre-computed horizon can match. Stay serial.
+		m.Step(r.maxCycles)
+		return
+	}
+	span := (r.limit - m.Graduated()) / r.epochDenom
+	if span < minEpochSpan {
+		m.Step(r.maxCycles)
+		return
+	}
+	if span > maxEpochSpan {
+		span = maxEpochSpan
+	}
+	h := m.Now() + span
+	if h > r.maxCycles {
+		h = r.maxCycles
+	}
+	if h <= m.Now() {
+		m.Step(r.maxCycles)
+		return
+	}
+	if err := r.epoch.RunEpoch(r.ctx, h); err != nil {
+		r.stepErr = err
+	}
 }
 
 func newRunner(ctx context.Context, opts Options, mode Mode, m machine) *runner {
@@ -164,8 +230,12 @@ func (r *runner) snapshot(phase string, target int64) Snapshot {
 
 // window advances the machine while more() holds and the sources are
 // live, honouring the cycle cap, amortized cancellation and the progress
-// cadence. target only labels the snapshots.
-func (r *runner) window(phase string, target int64, more func() bool) error {
+// cadence. target only labels the snapshots; limit is the window's
+// instruction bound (the value more() compares Graduated against, <= 0
+// when the window runs to drain), which the epoch-parallel step uses
+// to size horizons.
+func (r *runner) window(phase string, target, limit int64, more func() bool) error {
+	r.limit = limit
 	nextSnap := r.every
 	for more() && !r.m.Done() {
 		if r.m.Now() >= r.maxCycles {
@@ -182,6 +252,9 @@ func (r *runner) window(phase string, target int64, more func() bool) error {
 			nextSnap = r.m.Graduated() + r.every
 		}
 		r.step()
+		if r.stepErr != nil {
+			return r.stepErr
+		}
 	}
 	return nil
 }
@@ -192,7 +265,7 @@ func (r *runner) runDetailed() (Result, error) {
 	m, opts := r.m, r.opts
 
 	// Warm-up window.
-	err := r.window(PhaseWarmup, opts.WarmupInsts, func() bool {
+	err := r.window(PhaseWarmup, opts.WarmupInsts, opts.WarmupInsts, func() bool {
 		return m.Graduated() < opts.WarmupInsts
 	})
 	if err != nil {
@@ -203,7 +276,7 @@ func (r *runner) runDetailed() (Result, error) {
 	m.ResetStats()
 
 	// Measurement window.
-	err = r.window(PhaseMeasure, opts.MeasureInsts, func() bool {
+	err = r.window(PhaseMeasure, opts.MeasureInsts, opts.MeasureInsts, func() bool {
 		return opts.MeasureInsts <= 0 || m.Graduated() < opts.MeasureInsts
 	})
 	if err != nil {

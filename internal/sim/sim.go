@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -134,6 +135,16 @@ type Options struct {
 	// its write-invalidate broadcast — a pure optimization, never part
 	// of a request hash, with results equivalent by construction.
 	DisjointAddressSpaces bool
+	// Parallel, when > 1, advances the cores of a CMP run concurrently
+	// on up to Parallel worker goroutines in deterministic epochs
+	// (DESIGN.md §12). Results are bit-identical to serial execution —
+	// the epoch barrier replays every shared-level event in the serial
+	// lockstep order — so, like DisjointAddressSpaces, the knob is an
+	// execution hint and never part of a request hash. It requires the
+	// disjoint-address-space promise and a multi-core machine; runs
+	// that do not qualify (single core, trace workloads, Stepped, or a
+	// run-to-drain budget) silently take the serial path.
+	Parallel int
 	// Stepped forces cycle-by-cycle simulation, disabling the core's
 	// event-calendar fast-forward over idle stretches. Results are
 	// bit-identical either way (enforced by the equivalence tests);
@@ -224,6 +235,20 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 		cm.p.Interconnect().SetDisjointAddressSpaces(true)
 	}
 	r := newRunner(ctx, opts, mode, m)
+	if opts.Parallel > 1 && !opts.Stepped && opts.DisjointAddressSpaces {
+		if cm, ok := m.(cmpMachine); ok && cm.p.Cores() > 1 {
+			// Epoch-parallel CMP execution: bit-identical to the serial
+			// drivers (including the adaptive controller it displaces —
+			// adaptive is itself bit-identical to exact). Sampled runs
+			// parallelize their detailed phases; drains and warps stay
+			// serial.
+			er := core.NewEpochRunner(cm.p, opts.Parallel)
+			defer er.Close()
+			r.epoch = er
+			r.epochDenom = epochDenom(cm.p.Config())
+			r.step = r.epochStep
+		}
+	}
 	if mode == ModeSampled {
 		return r.runSampled()
 	}
